@@ -1,0 +1,79 @@
+// Ablation E12/A2: recovery cost and crash-tolerance throughput.
+//
+// The paper claims instant recovery (no log replay, no index rebuild). We
+// measure:
+//   1. attach time for FAST+FAIR vs the rebuild time FP-tree and SkipList
+//      need for their volatile components, as the dataset grows;
+//   2. crash-state enumeration throughput of the simulator (how many
+//      distinct crash images per second the §5.7-style validation covers).
+
+#include <cstdio>
+
+#include "baselines/fptree/fptree.h"
+#include "baselines/skiplist/skiplist.h"
+#include "bench/options.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "core/btree.h"
+#include "crashsim/simmem.h"
+
+int main(int argc, char** argv) {
+  using namespace fastfair;
+  const auto opt = bench::ParseOptions(argc, argv);
+  pm::SetConfig(pm::Config{});
+
+  std::printf("Ablation: recovery cost (attach / volatile rebuild)\n");
+  bench::Table table({"entries", "fastfair_attach_ms", "fptree_rebuild_ms",
+                      "skiplist_rebuild_ms"});
+  for (const std::size_t n : {opt.ScaledN(1000000), opt.ScaledN(4000000)}) {
+    const auto keys = bench::UniformKeys(n, opt.seed);
+    pm::Pool pool(std::size_t{6} << 30);
+    core::BTree tree(&pool);
+    baselines::FPTree fp(&pool);
+    baselines::SkipList sl(&pool);
+    for (const Key k : keys) {
+      tree.Insert(k, 2 * k + 1);
+      fp.Insert(k, 2 * k + 1);
+      sl.Insert(k, 2 * k + 1);
+    }
+    bench::Timer t;
+    core::BTree attached(&pool, tree.meta());
+    const double ff_ms = t.ElapsedUs() / 1000.0;
+    t.Reset();
+    fp.RebuildInner();
+    const double fp_ms = t.ElapsedUs() / 1000.0;
+    t.Reset();
+    sl.RebuildIndex();
+    const double sl_ms = t.ElapsedUs() / 1000.0;
+    if (attached.Search(keys[0]) == kNoValue) std::abort();
+    table.AddRow({std::to_string(n), bench::Table::Num(ff_ms),
+                  bench::Table::Num(fp_ms), bench::Table::Num(sl_ms)});
+  }
+  table.Print();
+
+  // Crash-image validation throughput (the §5.7 substitute).
+  {
+    using NodeT = core::Node<512>;
+    alignas(64) NodeT node;
+    node.Init(0);
+    core::RealMem rm;
+    using RealOps = core::NodeOps<NodeT, core::RealMem>;
+    for (int i = 0; i < NodeT::kCapacity - 1; ++i) {
+      RealOps::InsertKey(rm, &node, static_cast<Key>(10 * (i + 1)),
+                         static_cast<Value>(10 * (i + 1) + 1));
+    }
+    crashsim::SimMem sim;
+    sim.Adopt(&node, sizeof(node));
+    core::NodeOps<NodeT, crashsim::SimMem>::InsertKey(sim, &node, 5, 51);
+    std::size_t images = 0;
+    bench::Timer t;
+    sim.EnumerateCrashStates([&](const crashsim::SimMem::Image&) { ++images; });
+    std::printf(
+        "\ncrash-state enumeration: %zu distinct images of a worst-case "
+        "insert in %.2f ms (%.0f images/sec)\n",
+        images, t.ElapsedUs() / 1000.0,
+        static_cast<double>(images) / t.ElapsedSec());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 4: range-query speed-up over SkipList with varying selection
+// ratio.
+//
+// Paper setup: 10 M random 8-byte keys, 1 KB tree nodes, PM read latency
+// 300 ns; selection ratios 0.1% - 5%. Reports each index's speed-up factor
+// relative to SkipList for the same queries.
+//
+// Expected shape: FAST+FAIR up to ~20x over SkipList and ahead of FP-tree
+// (6-27%) and wB+-tree (25-33%); WORT far behind B+-trees, ahead of
+// SkipList.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/options.h"
+#include "bench/runner.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "index/index.h"
+
+int main(int argc, char** argv) {
+  using namespace fastfair;
+  const auto opt = bench::ParseOptions(argc, argv);
+  const std::size_t n = opt.ScaledN(10000000);  // paper: 10 M keys
+  const std::size_t queries = 20;
+  const auto keys = bench::UniformKeys(n, opt.seed);
+
+  pm::Config cfg;
+  cfg.read_latency_ns = 300;  // paper: read latency 300 ns
+  pm::SetConfig(cfg);
+
+  const std::vector<double> ratios = {0.1, 0.5, 1.0, 3.0, 5.0};
+  const std::vector<std::string> kinds = {"fastfair-1k", "fptree", "wbtree",
+                                          "wort", "skiplist"};
+
+  std::printf(
+      "Figure 4: range query speed-up vs SkipList, %zu keys, read latency "
+      "300ns, 1KB nodes\n",
+      n);
+
+  // Per kind x ratio: seconds per query.
+  std::vector<std::vector<double>> secs(kinds.size(),
+                                        std::vector<double>(ratios.size()));
+  std::vector<core::Record> out;
+  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+    pm::Pool pool(std::size_t{6} << 30);
+    auto idx = MakeIndex(kinds[ki], &pool);
+    {
+      pm::SetConfig(pm::Config{});  // don't pay read latency while loading
+      bench::LoadIndex(idx.get(), keys);
+      pm::SetConfig(cfg);
+    }
+    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+      const auto qs = bench::RangeQueries(keys, ratios[ri], queries, opt.seed);
+      out.resize(static_cast<std::size_t>(
+                     static_cast<double>(n) * ratios[ri] / 100.0) +
+                 16);
+      bench::Timer t;
+      std::size_t collected = 0;
+      for (const auto& q : qs) {
+        collected += idx->Scan(q.start, q.count, out.data());
+      }
+      secs[ki][ri] = t.ElapsedSec() / static_cast<double>(qs.size());
+      if (collected == 0) std::fprintf(stderr, "warning: empty scans\n");
+    }
+  }
+
+  bench::Table table({"selection_ratio_pct", "FAST+FAIR", "FP-tree",
+                      "wB+-tree", "WORT", "Skiplist"});
+  const std::size_t skip = kinds.size() - 1;  // skiplist is the divisor
+  for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+    std::vector<std::string> row = {bench::Table::Num(ratios[ri], 1)};
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      row.push_back(
+          bench::Table::Num(secs[skip][ri] / secs[ki][ri], 2) + "x");
+    }
+    table.AddRow(row);
+  }
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return 0;
+}

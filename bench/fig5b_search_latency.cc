@@ -1,0 +1,63 @@
+// Figure 5(b): single-threaded exact-match search time vs PM read latency.
+//
+// Paper setup: 10 M keys; read latency DRAM, 120, 300, 600, 900 ns (write
+// latency irrelevant for reads).
+//
+// Expected shape: B+-tree variants degrade gently (few pointer-chased node
+// hops; in-node lines fetched in parallel); WORT and SkipList degrade
+// steeply (one dependent PM read per tree/list hop). FP-tree is flattest at
+// high latency (volatile inner nodes). At 900 ns, SkipList and WORT are
+// several times worse than FAST+FAIR.
+
+#include <cstdio>
+
+#include "bench/options.h"
+#include "bench/runner.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "index/index.h"
+
+int main(int argc, char** argv) {
+  using namespace fastfair;
+  const auto opt = bench::ParseOptions(argc, argv);
+  const std::size_t n = opt.ScaledN(10000000);
+  const auto keys = bench::UniformKeys(n, opt.seed);
+  const std::vector<int> rlats = {0, 120, 300, 600, 900};
+  const std::vector<std::string> kinds = {"fastfair", "fptree", "wbtree",
+                                          "wort", "skiplist"};
+
+  std::printf("Figure 5(b): search time vs PM read latency, %zu keys\n", n);
+  bench::Table table({"read_latency_ns", "index", "search_us",
+                      "pm_node_reads_per_op"});
+  for (const auto& kind : kinds) {
+    pm::Pool pool(std::size_t{6} << 30);
+    auto idx = MakeIndex(kind, &pool);
+    pm::SetConfig(pm::Config{});
+    bench::LoadIndex(idx.get(), keys);
+    for (const int rlat : rlats) {
+      pm::Config cfg;
+      cfg.read_latency_ns = static_cast<std::uint64_t>(rlat);
+      pm::SetConfig(cfg);
+      pm::ResetStats();
+      const auto phase = bench::MeasurePhase([&] {
+        for (const Key k : keys) {
+          if (idx->Search(k) == kNoValue) std::abort();
+        }
+      });
+      table.AddRow({rlat == 0 ? "DRAM" : std::to_string(rlat), kind,
+                    bench::Table::Num(phase.PerOpUs(n)),
+                    bench::Table::Num(
+                        static_cast<double>(phase.pm.read_annotations) /
+                            static_cast<double>(n),
+                        1)});
+    }
+  }
+  pm::SetConfig(pm::Config{});
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return 0;
+}

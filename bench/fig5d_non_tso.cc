@@ -1,0 +1,66 @@
+// Figure 5(d): insert time vs PM write latency on a *non-TSO* architecture
+// (the paper's ARM/Nexus 5 experiment, emulated per DESIGN.md §4.4).
+//
+// In non-TSO mode every mfence_IF_NOT_TSO() in FAST executes a real fence
+// plus a configurable `dmb` cost surrogate; the paper measured 16.2
+// barriers/insert for FAST+FAIR vs 6.6 for FP-tree on ARM. We report the
+// barrier counts alongside the timings so the ratio is checkable.
+//
+// Expected shape: at DRAM latency FP-tree wins (fewer barriers); as write
+// latency grows the flush count dominates and FAST+FAIR overtakes
+// (paper: up to 1.61x faster than wB+-tree).
+
+#include <cstdio>
+
+#include "bench/options.h"
+#include "bench/runner.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "index/index.h"
+
+int main(int argc, char** argv) {
+  using namespace fastfair;
+  const auto opt = bench::ParseOptions(argc, argv);
+  const std::size_t n = opt.ScaledN(10000000);
+  const auto keys = bench::UniformKeys(n, opt.seed);
+  // Paper sweeps 700-1600 ns write latency on the phone.
+  const std::vector<int> wlats = {0, 700, 1000, 1300, 1600};
+  const std::vector<std::string> kinds = {"fastfair", "fptree", "wbtree",
+                                          "wort", "skiplist"};
+  // dmb ishst cost surrogate on the Snapdragon-class core: ~30 ns.
+  constexpr std::uint64_t kDmbNs = 30;
+
+  std::printf("Figure 5(d): insert time vs write latency (non-TSO), %zu keys\n",
+              n);
+  bench::Table table({"write_latency_ns", "index", "insert_us",
+                      "barriers_per_op", "flushes_per_op"});
+  for (const int wlat : wlats) {
+    for (const auto& kind : kinds) {
+      pm::Pool pool(std::size_t{6} << 30);
+      auto idx = MakeIndex(kind, &pool);
+      pm::Config cfg;
+      cfg.write_latency_ns = static_cast<std::uint64_t>(wlat);
+      cfg.barrier_ns = kDmbNs;
+      cfg.model = pm::MemModel::kNonTso;
+      pm::SetConfig(cfg);
+      pm::ResetStats();
+      const auto phase =
+          bench::MeasurePhase([&] { bench::LoadIndex(idx.get(), keys); });
+      table.AddRow(
+          {wlat == 0 ? "DRAM" : std::to_string(wlat), kind,
+           bench::Table::Num(phase.PerOpUs(n)),
+           bench::Table::Num(static_cast<double>(phase.pm.barriers) /
+                                 static_cast<double>(n),
+                             1),
+           bench::Table::Num(phase.FlushPerOp(n), 1)});
+    }
+  }
+  pm::SetConfig(pm::Config{});
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 6: TPC-C throughput for the four query mixes W1-W4.
+//
+// Paper setup: PM read and write latency both 300 ns; mixes per the
+// caption (Order-Status share grows W1 -> W4).
+//
+// Expected shape: FAST+FAIR ahead everywhere (good inserts + sorted-leaf
+// range scans); WORT hurt by Stock-Level/Order-Status range queries;
+// SkipList last.
+
+#include <cstdio>
+
+#include "bench/options.h"
+#include "bench/table.h"
+#include "tpcc/driver.h"
+
+int main(int argc, char** argv) {
+  using namespace fastfair;
+  const auto opt = bench::ParseOptions(argc, argv);
+  tpcc::Config cfg;
+  if (opt.scale == "paper") {
+    cfg.warehouses = 4;
+    cfg.customers_per_district = 3000;
+    cfg.items = 100000;
+    cfg.initial_orders_per_district = 3000;
+  } else if (opt.scale == "ci") {
+    cfg.warehouses = 1;
+    cfg.customers_per_district = 100;
+    cfg.items = 2000;
+    cfg.initial_orders_per_district = 100;
+  }
+  const std::size_t txns =
+      opt.n_override != 0
+          ? opt.n_override
+          : (opt.scale == "paper" ? 200000 : opt.scale == "ci" ? 2000 : 20000);
+
+  pm::Config pmcfg;
+  pmcfg.read_latency_ns = 300;
+  pmcfg.write_latency_ns = 300;
+
+  const std::vector<std::string> kinds = {"fastfair", "fptree", "wbtree",
+                                          "wort", "skiplist"};
+  std::printf(
+      "Figure 6: TPC-C throughput (Kops/sec committed txns), %u warehouses, "
+      "%zu txns per mix, PM latency 300/300 ns\n",
+      cfg.warehouses, txns);
+  bench::Table table({"mix", "index", "Ktxn_per_sec", "committed",
+                      "aborted"});
+  for (const auto& mix : tpcc::PaperMixes()) {
+    for (const auto& kind : kinds) {
+      pm::SetConfig(pm::Config{});  // populate at DRAM speed
+      pm::Pool pool(std::size_t{8} << 30);
+      tpcc::Db db(kind, cfg, &pool);
+      pm::SetConfig(pmcfg);
+      const auto r = tpcc::RunMix(db, mix, txns, opt.seed);
+      pm::SetConfig(pm::Config{});
+      table.AddRow({mix.name, kind, bench::Table::Num(r.Kops()),
+                    std::to_string(r.committed), std::to_string(r.aborted)});
+    }
+  }
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Figure 7: multi-threaded scalability — (a) 50M Search, (b) 50M Insert,
+// (c) Mixed (16 search : 4 insert : 1 delete per thread loop).
+//
+// Paper setup: 50 M preloaded keys; write latency 300 ns, read latency =
+// DRAM; threads 1..32; indexes FAST+FAIR, FAST+FAIR+LeafLock (search &
+// mixed only), FP-tree, B-link, SkipList.
+//
+// Hardware gate (EXPERIMENTS.md): this container exposes ONE CPU, so
+// absolute speed-up over threads cannot reproduce; what remains visible is
+// the *relative* cost of read locks vs lock-free search under
+// oversubscription, and that no workload loses correctness under
+// contention. Run on a multi-core box for the paper's scaling curves.
+
+#include <cstdio>
+
+#include "bench/options.h"
+#include "bench/runner.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "index/index.h"
+
+namespace {
+
+using namespace fastfair;
+
+double RunSearch(Index* idx, const std::vector<Key>& keys, int threads) {
+  const std::uint64_t wall =
+      bench::RunThreads(threads, keys.size(),
+                        [&](int, std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            if (idx->Search(keys[i]) == kNoValue) std::abort();
+                          }
+                        });
+  return bench::Kops(keys.size(), wall);
+}
+
+double RunInsert(Index* idx, const std::vector<Key>& keys, int threads) {
+  const std::uint64_t wall =
+      bench::RunThreads(threads, keys.size(),
+                        [&](int, std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            idx->Insert(keys[i], bench::ValueFor(keys[i]));
+                          }
+                        });
+  return bench::Kops(keys.size(), wall);
+}
+
+double RunMixed(Index* idx, const std::vector<bench::Op>& ops, int threads) {
+  const std::uint64_t wall = bench::RunThreads(
+      threads, ops.size(), [&](int, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const auto& op = ops[i];
+          switch (op.type) {
+            case bench::OpType::kSearch:
+              idx->Search(op.key);
+              break;
+            case bench::OpType::kInsert:
+              idx->Insert(op.key, bench::ValueFor(op.key));
+              break;
+            case bench::OpType::kDelete:
+              idx->Remove(op.key);
+              break;
+          }
+        }
+      });
+  return bench::Kops(ops.size(), wall);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::ParseOptions(argc, argv);
+  // Paper: 50 M preload; ops scaled alongside.
+  const std::size_t preload_n = opt.ScaledN(50000000);
+  const std::size_t ops_n = preload_n;
+  const auto preload = bench::UniformKeys(preload_n, opt.seed);
+  const auto extra = bench::UniformKeys(ops_n, opt.seed ^ 0x1234567);
+  const auto mixed = bench::MixedOps(ops_n, ~std::uint64_t{0} - 1, opt.seed);
+
+  pm::Config cfg;
+  cfg.write_latency_ns = 300;  // paper: write 300 ns, read = DRAM
+  std::printf(
+      "Figure 7: thread scalability, %zu preloaded keys, write latency "
+      "300ns\nNOTE: this host has limited cores; see EXPERIMENTS.md.\n",
+      preload_n);
+
+  const std::vector<std::string> search_kinds = {
+      "fastfair", "fastfair-leaflock", "fptree", "blink", "skiplist"};
+  const std::vector<std::string> insert_kinds = {"fastfair", "fptree",
+                                                 "blink", "skiplist"};
+
+  bench::Table table({"workload", "index", "threads", "Kops_per_sec"});
+  for (const auto& kind : search_kinds) {
+    pm::SetConfig(pm::Config{});
+    pm::Pool pool(std::size_t{8} << 30);
+    auto idx = MakeIndex(kind, &pool);
+    bench::LoadIndex(idx.get(), preload);
+    pm::SetConfig(cfg);
+    for (const int t : opt.threads) {
+      table.AddRow({"search", kind, std::to_string(t),
+                    bench::Table::Num(RunSearch(idx.get(), preload, t))});
+    }
+  }
+  for (const auto& kind : insert_kinds) {
+    for (const int t : opt.threads) {
+      pm::SetConfig(pm::Config{});
+      pm::Pool pool(std::size_t{8} << 30);
+      auto idx = MakeIndex(kind, &pool);
+      bench::LoadIndex(idx.get(), preload);
+      pm::SetConfig(cfg);
+      table.AddRow({"insert", kind, std::to_string(t),
+                    bench::Table::Num(RunInsert(idx.get(), extra, t))});
+    }
+  }
+  for (const auto& kind : search_kinds) {
+    for (const int t : opt.threads) {
+      pm::SetConfig(pm::Config{});
+      pm::Pool pool(std::size_t{8} << 30);
+      auto idx = MakeIndex(kind, &pool);
+      bench::LoadIndex(idx.get(), preload);
+      pm::SetConfig(cfg);
+      table.AddRow({"mixed", kind, std::to_string(t),
+                    bench::Table::Num(RunMixed(idx.get(), mixed, t))});
+    }
+  }
+  pm::SetConfig(pm::Config{});
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// google-benchmark microbenchmarks for the core primitives: node-level
+// FAST operations, pool allocation, flush/fence costs, and point ops on
+// the assembled tree. Complements the figure harnesses with
+// statistically-sound per-op numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "core/btree.h"
+#include "core/mem_policy.h"
+#include "core/node_ops.h"
+#include "index/index.h"
+
+namespace {
+
+using namespace fastfair;
+using NodeT = core::Node<512>;
+using Ops = core::NodeOps<NodeT, core::RealMem>;
+
+void BM_NodeInsertAscending(benchmark::State& state) {
+  alignas(64) NodeT node;
+  core::RealMem m;
+  pm::SetConfig(pm::Config{});
+  Key k = 0;
+  node.Init(0);
+  for (auto _ : state) {
+    if (k % NodeT::kCapacity == 0) node.Init(0);
+    Ops::InsertKey(m, &node, k % NodeT::kCapacity + 1, k + 1);
+    k += 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NodeInsertAscending);
+
+void BM_NodeInsertWorstCaseShift(benchmark::State& state) {
+  alignas(64) NodeT node;
+  core::RealMem m;
+  pm::SetConfig(pm::Config{});
+  std::uint64_t round = 0;
+  node.Init(0);
+  int filled = 0;
+  for (auto _ : state) {
+    if (filled == NodeT::kCapacity) {
+      node.Init(0);
+      filled = 0;
+      ++round;
+    }
+    // Descending keys force a full shift each time.
+    Ops::InsertKey(m, &node,
+                   static_cast<Key>(NodeT::kCapacity - filled),
+                   round * 1000 + static_cast<Value>(filled) + 1);
+    ++filled;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NodeInsertWorstCaseShift);
+
+void BM_NodeLinearSearch(benchmark::State& state) {
+  alignas(64) NodeT node;
+  core::RealMem m;
+  pm::SetConfig(pm::Config{});
+  node.Init(0);
+  for (int i = 0; i < NodeT::kCapacity; ++i) {
+    Ops::InsertKey(m, &node, static_cast<Key>(2 * i + 2), static_cast<Value>(i) + 1);
+  }
+  Key k = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ops::SearchLeaf(m, &node, k));
+    k = k % (2 * NodeT::kCapacity) + 2;
+  }
+}
+BENCHMARK(BM_NodeLinearSearch);
+
+void BM_NodeBinarySearch(benchmark::State& state) {
+  alignas(64) NodeT node;
+  core::RealMem m;
+  pm::SetConfig(pm::Config{});
+  node.Init(0);
+  for (int i = 0; i < NodeT::kCapacity; ++i) {
+    Ops::InsertKey(m, &node, static_cast<Key>(2 * i + 2), static_cast<Value>(i) + 1);
+  }
+  Key k = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ops::BinarySearchLeaf(m, &node, k));
+    k = k % (2 * NodeT::kCapacity) + 2;
+  }
+}
+BENCHMARK(BM_NodeBinarySearch);
+
+void BM_PoolAlloc(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  pm::Pool pool(std::size_t{2} << 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Alloc(512));
+    if (pool.used() > (std::size_t{2} << 30) - 4096) {
+      state.PauseTiming();
+      pool.Reset();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_PoolAlloc);
+
+void BM_PersistLine(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  alignas(64) char buf[64];
+  for (auto _ : state) {
+    buf[0] += 1;
+    pm::Persist(buf, 64);
+  }
+}
+BENCHMARK(BM_PersistLine);
+
+void BM_TreeInsert(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  pm::Pool pool(std::size_t{4} << 30);
+  core::BTree tree(&pool);
+  Rng rng(1);
+  for (auto _ : state) {
+    const Key k = rng.Next() | 1;
+    tree.Insert(k, 2 * k + 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TreeInsert);
+
+void BM_TreeSearch(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  pm::Pool pool(std::size_t{4} << 30);
+  core::BTree tree(&pool);
+  const auto keys = bench::UniformKeys(200000, 3);
+  for (const Key k : keys) tree.Insert(k, 2 * k + 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Search(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TreeSearch);
+
+void BM_TreeScan100(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  pm::Pool pool(std::size_t{4} << 30);
+  core::BTree tree(&pool);
+  const auto keys = bench::UniformKeys(200000, 5);
+  for (const Key k : keys) tree.Insert(k, 2 * k + 1);
+  core::Record out[100];
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Scan(rng.Next(), 100, out));
+  }
+}
+BENCHMARK(BM_TreeScan100);
+
+}  // namespace

@@ -1,0 +1,102 @@
+// concurrent_readers: non-blocking reads while writers restructure the
+// tree (paper §4).
+//
+// A writer thread continuously inserts and deletes; reader threads hammer
+// point lookups with NO read latches and report their observed latencies.
+// A second phase switches the tree to FAST+FAIR+LeafLock (serializable
+// reads) for comparison — the trade the paper quantifies in Fig 7(a).
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/stats.h"
+#include "common/rng.h"
+#include "core/btree.h"
+
+namespace {
+
+using namespace fastfair;
+
+struct Result {
+  double reads_per_sec;
+  std::uint64_t misses;  // anchor keys a reader failed to find (must be 0)
+};
+
+Result RunPhase(core::ConcurrencyMode mode, int readers, int seconds) {
+  pm::Pool pool(std::size_t{2} << 30);
+  core::Options opts;
+  opts.concurrency = mode;
+  core::BTree tree(&pool, opts);
+  // Anchors are always present; churn keys come and go around them.
+  std::vector<Key> anchors;
+  for (Key k = 1000; k <= 1000000; k += 1000) {
+    anchors.push_back(k);
+    tree.Insert(k, k + 7);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> misses{0};
+
+  std::thread writer([&] {
+    Rng rng(1);
+    while (!stop.load(std::memory_order_acquire)) {
+      const Key k = rng.NextBounded(1000000) + 1;
+      if (k % 1000 == 0) continue;  // never touch anchors
+      if (rng.NextBounded(2) == 0) {
+        tree.Insert(k, k + 7);
+      } else {
+        tree.Remove(k);
+      }
+    }
+  });
+  std::vector<std::thread> rthreads;
+  for (int r = 0; r < readers; ++r) {
+    rthreads.emplace_back([&, r] {
+      Rng rng(100 + r);
+      std::uint64_t local = 0, local_miss = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key a = anchors[rng.NextBounded(anchors.size())];
+        if (tree.Search(a) != a + 7) ++local_miss;
+        ++local;
+      }
+      reads.fetch_add(local);
+      misses.fetch_add(local_miss);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop.store(true);
+  writer.join();
+  for (auto& t : rthreads) t.join();
+  return {static_cast<double>(reads.load()) / seconds, misses.load()};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kReaders = 4, kSeconds = 3;
+  std::printf("phase 1: lock-free readers vs a churning writer (%d readers, "
+              "%ds)\n",
+              kReaders, kSeconds);
+  const auto lf = RunPhase(core::ConcurrencyMode::kLockFree, kReaders,
+                           kSeconds);
+  std::printf("  lock-free : %.0f reads/sec, %llu lost reads (must be 0)\n",
+              lf.reads_per_sec,
+              static_cast<unsigned long long>(lf.misses));
+
+  std::printf("phase 2: the same with shared leaf latches (serializable "
+              "reads)\n");
+  const auto ll = RunPhase(core::ConcurrencyMode::kLeafLock, kReaders,
+                           kSeconds);
+  std::printf("  leaf-lock : %.0f reads/sec, %llu lost reads (must be 0)\n",
+              ll.reads_per_sec,
+              static_cast<unsigned long long>(ll.misses));
+  std::printf("lock-free/leaf-lock read throughput ratio: %.2fx\n",
+              lf.reads_per_sec / ll.reads_per_sec);
+  if (lf.misses != 0 || ll.misses != 0) {
+    std::printf("ERROR: readers lost committed keys!\n");
+    return 1;
+  }
+  return 0;
+}

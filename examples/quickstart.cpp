@@ -1,0 +1,57 @@
+// Quickstart: the five-minute tour of the FAST+FAIR B+-tree public API.
+//
+//   $ ./quickstart
+//
+// Creates a tree in an emulated-PM pool, performs point and range
+// operations, and prints what happened. See kvstore.cpp for real
+// file-backed persistence across restarts.
+
+#include <cstdio>
+
+#include "core/btree.h"
+
+int main() {
+  using namespace fastfair;
+
+  // 1. A PM pool: DRAM emulating persistent memory (anonymous mapping).
+  //    All tree nodes are allocated from it; flushes and fences are real.
+  pm::Pool pool(std::size_t{1} << 30);  // 1 GiB
+
+  // 2. A FAST+FAIR B+-tree with the paper's defaults: 512-byte nodes,
+  //    lock-free search, FAIR in-place splits, linear in-node search.
+  core::BTree tree(&pool);
+
+  // 3. Inserts are upserts. Values are opaque non-zero 64-bit words —
+  //    typically pointers to your records (value 0 means "not found").
+  for (Key k = 1; k <= 1000; ++k) {
+    tree.Insert(k, /*value=*/k * 2 + 1);
+  }
+  std::printf("inserted 1000 keys, tree height: %d\n", tree.Height());
+
+  // 4. Point lookups are non-blocking: no read latches, ever.
+  std::printf("search(500) = %llu (expect %llu)\n",
+              static_cast<unsigned long long>(tree.Search(500)),
+              static_cast<unsigned long long>(500 * 2 + 1));
+
+  // 5. Sorted range scans via the leaf sibling chain.
+  core::Record out[10];
+  const std::size_t n = tree.Scan(/*min_key=*/991, /*max_results=*/10, out);
+  std::printf("scan from 991: ");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("%llu ", static_cast<unsigned long long>(out[i].key));
+  }
+  std::printf("\n");
+
+  // 6. Deletes shift in place; no rebalancing logs anywhere.
+  tree.Remove(500);
+  std::printf("after remove, search(500) = %llu (expect 0)\n",
+              static_cast<unsigned long long>(tree.Search(500)));
+
+  // 7. Every operation above was persisted as it returned: check the
+  //    flush/fence accounting the evaluation harness uses.
+  const auto& stats = pm::Stats();
+  std::printf("cache lines flushed: %llu, fences: %llu\n",
+              static_cast<unsigned long long>(stats.flush_lines),
+              static_cast<unsigned long long>(stats.fences));
+  return 0;
+}

@@ -1,0 +1,277 @@
+#include "baselines/blink/blink.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fastfair::baselines {
+
+BLink::BLink() { root_.store(AllocNode(0), std::memory_order_release); }
+
+BLink::~BLink() { FreeTree(root_.load(std::memory_order_acquire)); }
+
+BLink::Node* BLink::AllocNode(std::uint16_t level) {
+  auto* n = new Node;
+  n->level = level;
+  return n;
+}
+
+void BLink::FreeTree(Node* n) {
+  if (!n->is_leaf()) {
+    for (int i = 0; i <= n->count; ++i) {
+      FreeTree(reinterpret_cast<Node*>(n->vals[i]));
+    }
+  }
+  delete n;
+}
+
+int BLink::ChildIndex(const Node* n, Key key) {
+  int lo = 0, hi = n->count;  // first separator > key
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (n->keys[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BLink::LowerBound(const Node* n, Key key) {
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (n->keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+BLink::Node* BLink::DescendTo(Key key, bool exclusive_leaf) const {
+  Node* n = root_.load(std::memory_order_acquire);
+  n->lock.lock_shared();
+  for (;;) {
+    while (NeedMoveRight(n, key)) {
+      Node* s = n->sibling;
+      s->lock.lock_shared();
+      n->lock.unlock_shared();
+      n = s;
+    }
+    if (n->is_leaf()) break;
+    Node* c = reinterpret_cast<Node*>(n->vals[ChildIndex(n, key)]);
+    c->lock.lock_shared();
+    n->lock.unlock_shared();
+    n = c;
+  }
+  if (!exclusive_leaf) return n;
+  // Re-latch exclusively; nodes are never freed mid-run, so the pointer
+  // stays valid and move-right recovers from any interleaved split.
+  n->lock.unlock_shared();
+  n->lock.lock();
+  while (NeedMoveRight(n, key)) {
+    Node* s = n->sibling;
+    s->lock.lock();
+    n->lock.unlock();
+    n = s;
+  }
+  return n;
+}
+
+Value BLink::Search(Key key) const {
+  Node* n = DescendTo(key, /*exclusive_leaf=*/false);
+  const int pos = LowerBound(n, key);
+  const Value v =
+      pos < n->count && n->keys[pos] == key ? n->vals[pos] : kNoValue;
+  n->lock.unlock_shared();
+  return v;
+}
+
+void BLink::NodeInsertAt(Node* n, int pos, Key key, std::uint64_t val) {
+  if (n->is_leaf()) {
+    std::memmove(&n->keys[pos + 1], &n->keys[pos],
+                 sizeof(Key) * static_cast<std::size_t>(n->count - pos));
+    std::memmove(&n->vals[pos + 1], &n->vals[pos],
+                 sizeof(std::uint64_t) *
+                     static_cast<std::size_t>(n->count - pos));
+    n->keys[pos] = key;
+    n->vals[pos] = val;
+  } else {
+    // Internal: separator at pos, child pointer at pos+1.
+    std::memmove(&n->keys[pos + 1], &n->keys[pos],
+                 sizeof(Key) * static_cast<std::size_t>(n->count - pos));
+    std::memmove(&n->vals[pos + 2], &n->vals[pos + 1],
+                 sizeof(std::uint64_t) *
+                     static_cast<std::size_t>(n->count - pos));
+    n->keys[pos] = key;
+    n->vals[pos + 1] = val;
+  }
+  n->count += 1;
+}
+
+void BLink::Insert(Key key, Value value) {
+  assert(value != kNoValue);
+  Node* leaf = DescendTo(key, /*exclusive_leaf=*/true);
+  const int pos = LowerBound(leaf, key);
+  if (pos < leaf->count && leaf->keys[pos] == key) {  // upsert
+    leaf->vals[pos] = value;
+    leaf->lock.unlock();
+    return;
+  }
+  if (leaf->count < kFanout) {
+    NodeInsertAt(leaf, pos, key, value);
+    leaf->lock.unlock();
+    return;
+  }
+  SplitAndInsert(leaf, key, value);
+}
+
+void BLink::SplitAndInsert(Node* n, Key key, std::uint64_t val) {
+  const int cnt = n->count;
+  const int median = cnt / 2;
+  Node* right = AllocNode(n->level);
+  Key sep;
+  if (n->is_leaf()) {
+    sep = n->keys[median];
+    right->count = static_cast<std::uint16_t>(cnt - median);
+    std::memcpy(right->keys, &n->keys[median],
+                sizeof(Key) * static_cast<std::size_t>(right->count));
+    std::memcpy(right->vals, &n->vals[median],
+                sizeof(std::uint64_t) *
+                    static_cast<std::size_t>(right->count));
+    n->count = static_cast<std::uint16_t>(median);
+  } else {
+    sep = n->keys[median];  // promoted, lives in neither half
+    right->count = static_cast<std::uint16_t>(cnt - median - 1);
+    std::memcpy(right->keys, &n->keys[median + 1],
+                sizeof(Key) * static_cast<std::size_t>(right->count));
+    std::memcpy(right->vals, &n->vals[median + 1],
+                sizeof(std::uint64_t) *
+                    static_cast<std::size_t>(right->count + 1));
+    n->count = static_cast<std::uint16_t>(median);
+  }
+  right->sibling = n->sibling;
+  right->has_high = n->has_high;
+  right->high = n->high;
+  n->sibling = right;
+  n->has_high = true;
+  n->high = sep;
+
+  // Insert the pending entry into the proper half (both still private: n is
+  // exclusively latched and right unreachable until n is unlocked).
+  Node* target = key < sep ? n : right;
+  NodeInsertAt(target, target->is_leaf() ? LowerBound(target, key)
+                                         : ChildIndex(target, key),
+               key, val);
+  n->lock.unlock();
+  InsertInternal(sep, right, static_cast<std::uint16_t>(n->level + 1));
+}
+
+void BLink::InsertInternal(Key sep, Node* right, std::uint16_t level) {
+  for (;;) {
+    Node* root = root_.load(std::memory_order_acquire);
+    if (root->level < level) {
+      root_lock_.lock();
+      root = root_.load(std::memory_order_acquire);
+      if (root->level < level) {
+        Node* nr = AllocNode(level);
+        nr->count = 1;
+        nr->keys[0] = sep;
+        nr->vals[0] = reinterpret_cast<std::uint64_t>(root);
+        nr->vals[1] = reinterpret_cast<std::uint64_t>(right);
+        root_.store(nr, std::memory_order_release);
+        root_lock_.unlock();
+        return;
+      }
+      root_lock_.unlock();
+      continue;
+    }
+    // Shared-latch descent to the target level.
+    Node* n = root;
+    n->lock.lock_shared();
+    while (n->level > level) {
+      while (NeedMoveRight(n, sep)) {
+        Node* s = n->sibling;
+        s->lock.lock_shared();
+        n->lock.unlock_shared();
+        n = s;
+      }
+      Node* c = reinterpret_cast<Node*>(n->vals[ChildIndex(n, sep)]);
+      c->lock.lock_shared();
+      n->lock.unlock_shared();
+      n = c;
+    }
+    n->lock.unlock_shared();
+    n->lock.lock();
+    while (NeedMoveRight(n, sep)) {
+      Node* s = n->sibling;
+      s->lock.lock();
+      n->lock.unlock();
+      n = s;
+    }
+    if (n->count < kFanout) {
+      NodeInsertAt(n, ChildIndex(n, sep), sep,
+                   reinterpret_cast<std::uint64_t>(right));
+      n->lock.unlock();
+      return;
+    }
+    SplitAndInsert(n, sep, reinterpret_cast<std::uint64_t>(right));
+    return;
+  }
+}
+
+bool BLink::Remove(Key key) {
+  Node* leaf = DescendTo(key, /*exclusive_leaf=*/true);
+  const int pos = LowerBound(leaf, key);
+  if (pos >= leaf->count || leaf->keys[pos] != key) {
+    leaf->lock.unlock();
+    return false;
+  }
+  std::memmove(&leaf->keys[pos], &leaf->keys[pos + 1],
+               sizeof(Key) * static_cast<std::size_t>(leaf->count - pos - 1));
+  std::memmove(&leaf->vals[pos], &leaf->vals[pos + 1],
+               sizeof(std::uint64_t) *
+                   static_cast<std::size_t>(leaf->count - pos - 1));
+  leaf->count -= 1;
+  leaf->lock.unlock();
+  return true;
+}
+
+std::size_t BLink::Scan(Key min_key, std::size_t max_results,
+                        core::Record* out) const {
+  Node* n = DescendTo(min_key, /*exclusive_leaf=*/false);
+  std::size_t got = 0;
+  int pos = LowerBound(n, min_key);
+  while (got < max_results) {
+    for (int i = pos; i < n->count && got < max_results; ++i) {
+      out[got++] = {n->keys[i], n->vals[i]};
+    }
+    Node* s = n->sibling;
+    if (s == nullptr || got >= max_results) break;
+    s->lock.lock_shared();
+    n->lock.unlock_shared();
+    n = s;
+    pos = 0;
+  }
+  n->lock.unlock_shared();
+  return got;
+}
+
+std::size_t BLink::CountEntries() const {
+  Node* n = DescendTo(0, /*exclusive_leaf=*/false);
+  std::size_t total = 0;
+  for (;;) {
+    total += n->count;
+    Node* s = n->sibling;
+    if (s == nullptr) break;
+    s->lock.lock_shared();
+    n->lock.unlock_shared();
+    n = s;
+  }
+  n->lock.unlock_shared();
+  return total;
+}
+
+}  // namespace fastfair::baselines

@@ -1,0 +1,77 @@
+// Volatile B-link tree baseline (Lehman & Yao [29]).
+//
+// The paper uses it as the concurrency reference point in Fig 7: a classic
+// latch-based in-memory B+-tree with sibling pointers and high keys, *not*
+// designed for PM (no flushes, no failure atomicity) and *without* lock-free
+// search — readers take shared latches node-at-a-time, which is exactly the
+// scaling limiter the experiment demonstrates. In-node search is binary
+// (allowed here because readers hold latches).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/defs.h"
+#include "core/node.h"  // core::Record, core::RwSpinLock
+#include "pm/persist.h"
+
+namespace fastfair::baselines {
+
+class BLink {
+ public:
+  static constexpr int kFanout = 28;  // ~512-byte nodes, like FAST+FAIR
+
+  BLink();
+  ~BLink();
+
+  void Insert(Key key, Value value);  // upsert
+  bool Remove(Key key);
+  Value Search(Key key) const;
+  std::size_t Scan(Key min_key, std::size_t max_results,
+                   core::Record* out) const;
+
+  std::size_t CountEntries() const;
+
+ private:
+  struct Node {
+    mutable core::RwSpinLock lock;
+    std::uint16_t count = 0;
+    std::uint16_t level = 0;  // 0 = leaf
+    Node* sibling = nullptr;
+    bool has_high = false;
+    Key high = 0;  // upper fence: keys >= high live in the sibling chain
+    Key keys[kFanout];
+    // Leaf: vals[i] pairs keys[i]. Internal: children[0..count], children[i]
+    // covers [keys[i-1], keys[i]).
+    std::uint64_t vals[kFanout + 1];
+
+    bool is_leaf() const { return level == 0; }
+  };
+
+  Node* AllocNode(std::uint16_t level);
+  void FreeTree(Node* n);
+
+  /// Child index for `key` (internal node): first separator > key.
+  static int ChildIndex(const Node* n, Key key);
+  /// Position of first key >= `key` in a leaf.
+  static int LowerBound(const Node* n, Key key);
+
+  static bool NeedMoveRight(const Node* n, Key key) {
+    return n->has_high && key >= n->high;
+  }
+
+  /// Descends with shared-latch crabbing to the leaf covering `key`,
+  /// returning it latched in the requested mode.
+  Node* DescendTo(Key key, bool exclusive_leaf) const;
+
+  void InsertInternal(Key sep, Node* right, std::uint16_t level);
+  /// Splits write-latched `n`, inserting (key,val) into the proper half;
+  /// releases the latch and updates the parent.
+  void SplitAndInsert(Node* n, Key key, std::uint64_t val);
+  static void NodeInsertAt(Node* n, int pos, Key key, std::uint64_t val);
+
+  std::atomic<Node*> root_;
+  mutable core::RwSpinLock root_lock_;  // serializes root replacement
+};
+
+}  // namespace fastfair::baselines

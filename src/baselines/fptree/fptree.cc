@@ -1,0 +1,379 @@
+#include "baselines/fptree/fptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+namespace fastfair::baselines {
+
+FPTree::FPTree(pm::Pool* pool) : pool_(pool) {
+  ulog_ = static_cast<MicroLog*>(pool->Alloc(sizeof(MicroLog), kCacheLineSize));
+  ulog_->src = 0;
+  ulog_->dst = 0;
+  pm::Persist(ulog_, sizeof(MicroLog));
+  head_slot_ =
+      static_cast<std::uint64_t*>(pool->Alloc(sizeof(std::uint64_t), 8));
+  head_ = AllocLeaf();
+  pm::Persist(head_, sizeof(Leaf));
+  *head_slot_ = reinterpret_cast<std::uint64_t>(head_);
+  pm::Persist(head_slot_, sizeof(std::uint64_t));
+}
+
+FPTree::~FPTree() {
+  if (root_ != nullptr) FreeInner(root_);
+}
+
+void FPTree::FreeInner(Inner* n) {
+  if (!n->children_are_leaves) {
+    for (int i = 0; i <= n->count; ++i) {
+      FreeInner(static_cast<Inner*>(n->children[i]));
+    }
+  }
+  delete n;
+}
+
+FPTree::Leaf* FPTree::AllocLeaf() {
+  auto* l = static_cast<Leaf*>(pool_->Alloc(sizeof(Leaf), kCacheLineSize));
+  std::memset(static_cast<void*>(l), 0, sizeof(Leaf));
+  return l;
+}
+
+FPTree::Leaf* FPTree::FindLeaf(Key key) const {
+  if (root_ == nullptr) return head_;
+  const Inner* n = root_;
+  for (;;) {
+    // First key > `key` selects the child.
+    const int ub = static_cast<int>(
+        std::upper_bound(n->keys, n->keys + n->count, key) - n->keys);
+    void* child = n->children[ub];
+    if (n->children_are_leaves) {
+      auto* l = static_cast<Leaf*>(child);
+      pm::AnnotateRead(l);  // inner nodes are DRAM; only the leaf is PM
+      return l;
+    }
+    n = static_cast<const Inner*>(child);
+  }
+}
+
+int FPTree::FindEntry(const Leaf* l, Key key, std::uint8_t fp) {
+  std::uint64_t bm = l->bitmap;
+  while (bm != 0) {
+    const int i = __builtin_ctzll(bm);
+    bm &= bm - 1;
+    // Fingerprint filter first: this is the cache-line-saving trick.
+    if (l->fingerprints[i] == fp && l->entries[i].key == key) return i;
+  }
+  return -1;
+}
+
+Value FPTree::Search(Key key) const {
+  std::shared_lock<std::shared_mutex> g(inner_mutex_);
+  const Leaf* l = FindLeaf(key);
+  l->lock.lock_shared();
+  const int i = FindEntry(l, key, Fingerprint(key));
+  const Value v = i >= 0 ? l->entries[i].val : kNoValue;
+  l->lock.unlock_shared();
+  return v;
+}
+
+void FPTree::Insert(Key key, Value value) {
+  assert(value != kNoValue);
+  const std::uint8_t fp = Fingerprint(key);
+  {
+    std::shared_lock<std::shared_mutex> g(inner_mutex_);
+    Leaf* l = FindLeaf(key);
+    l->lock.lock();
+    const int e = FindEntry(l, key, fp);
+    if (e >= 0) {  // upsert: 8-byte in-place value store
+      l->entries[e].val = value;
+      pm::Persist(&l->entries[e].val, sizeof(Value));
+      l->lock.unlock();
+      return;
+    }
+    if (CountLeaf(l) < kLeafEntries) {
+      const int f = __builtin_ctzll(~l->bitmap);
+      l->entries[f] = {key, value};
+      l->fingerprints[f] = fp;
+      pm::Persist(&l->entries[f], sizeof(Entry));
+      pm::Persist(&l->fingerprints[f], 1);
+      l->bitmap |= 1ull << f;  // atomic publish
+      pm::Persist(&l->bitmap, sizeof(l->bitmap));
+      l->lock.unlock();
+      return;
+    }
+    l->lock.unlock();
+  }
+  // Leaf full: retry under the exclusive inner lock (split path).
+  std::unique_lock<std::shared_mutex> g(inner_mutex_);
+  for (;;) {
+    Leaf* l = FindLeaf(key);
+    l->lock.lock();
+    const int e = FindEntry(l, key, fp);
+    if (e >= 0) {
+      l->entries[e].val = value;
+      pm::Persist(&l->entries[e].val, sizeof(Value));
+      l->lock.unlock();
+      return;
+    }
+    if (CountLeaf(l) < kLeafEntries) {
+      const int f = __builtin_ctzll(~l->bitmap);
+      l->entries[f] = {key, value};
+      l->fingerprints[f] = fp;
+      pm::Persist(&l->entries[f], sizeof(Entry));
+      pm::Persist(&l->fingerprints[f], 1);
+      l->bitmap |= 1ull << f;
+      pm::Persist(&l->bitmap, sizeof(l->bitmap));
+      l->lock.unlock();
+      return;
+    }
+    Leaf* nl = nullptr;
+    const Key sep = SplitLeaf(l, &nl);
+    l->lock.unlock();
+    InnerInsert(sep, nl);
+    // Loop: re-descend and insert into the proper half.
+  }
+}
+
+Key FPTree::SplitLeaf(Leaf* l, Leaf** out_new) {
+  // Median key of the live entries.
+  Key keys[kLeafEntries];
+  int n = 0;
+  std::uint64_t bm = l->bitmap;
+  while (bm != 0) {
+    const int i = __builtin_ctzll(bm);
+    bm &= bm - 1;
+    keys[n++] = l->entries[i].key;
+  }
+  std::nth_element(keys, keys + n / 2, keys + n);
+  const Key sep = keys[n / 2];  // entries with key >= sep move right
+
+  Leaf* nl = AllocLeaf();
+  // Micro-log the split before mutating anything persistent.
+  ulog_->src = reinterpret_cast<std::uint64_t>(l);
+  ulog_->dst = reinterpret_cast<std::uint64_t>(nl);
+  pm::Persist(ulog_, sizeof(MicroLog));
+
+  // Copy wholesale, preserving slot positions; select with the bitmap.
+  std::memcpy(static_cast<void*>(nl->entries), l->entries,
+              sizeof(l->entries));
+  std::memcpy(nl->fingerprints, l->fingerprints, sizeof(l->fingerprints));
+  std::uint64_t moved = 0;
+  bm = l->bitmap;
+  while (bm != 0) {
+    const int i = __builtin_ctzll(bm);
+    bm &= bm - 1;
+    if (l->entries[i].key >= sep) moved |= 1ull << i;
+  }
+  nl->bitmap = moved;
+  nl->next = l->next;
+  pm::Persist(nl, sizeof(Leaf));
+  l->next = reinterpret_cast<std::uint64_t>(nl);
+  pm::Persist(&l->next, sizeof(l->next));
+  l->bitmap &= ~moved;  // one atomic store truncates the old leaf
+  pm::Persist(&l->bitmap, sizeof(l->bitmap));
+  ulog_->src = 0;  // commit
+  pm::Persist(&ulog_->src, sizeof(ulog_->src));
+  *out_new = nl;
+  return sep;
+}
+
+void FPTree::InnerInsert(Key sep, void* right) {
+  if (root_ == nullptr) {
+    root_ = new Inner;
+    root_->count = 1;
+    root_->children_are_leaves = true;
+    root_->keys[0] = sep;
+    root_->children[0] = head_;
+    root_->children[1] = right;
+    return;
+  }
+  // Recursive volatile insert with node splits on the way back up.
+  struct Rec {
+    static bool Insert(Inner* n, Key sep, void* right, Key* up_key,
+                       Inner** up_node) {
+      int pos = static_cast<int>(
+          std::upper_bound(n->keys, n->keys + n->count, sep) - n->keys);
+      if (!n->children_are_leaves) {
+        Key ck;
+        Inner* cn;
+        if (!Insert(static_cast<Inner*>(n->children[pos]), sep, right, &ck,
+                    &cn)) {
+          return false;
+        }
+        sep = ck;
+        right = cn;
+        pos = static_cast<int>(
+            std::upper_bound(n->keys, n->keys + n->count, sep) - n->keys);
+      }
+      // Insert (sep, right) at pos.
+      std::memmove(&n->keys[pos + 1], &n->keys[pos],
+                   sizeof(Key) * static_cast<std::size_t>(n->count - pos));
+      std::memmove(&n->children[pos + 2], &n->children[pos + 1],
+                   sizeof(void*) * static_cast<std::size_t>(n->count - pos));
+      n->keys[pos] = sep;
+      n->children[pos + 1] = right;
+      n->count += 1;
+      if (n->count < kInnerFanout - 1) return false;
+      // Split this inner node; middle key moves up.
+      const int mid = n->count / 2;
+      auto* r = new Inner;
+      r->children_are_leaves = n->children_are_leaves;
+      r->count = n->count - mid - 1;
+      std::memcpy(r->keys, &n->keys[mid + 1],
+                  sizeof(Key) * static_cast<std::size_t>(r->count));
+      std::memcpy(r->children, &n->children[mid + 1],
+                  sizeof(void*) * static_cast<std::size_t>(r->count + 1));
+      *up_key = n->keys[mid];
+      n->count = mid;
+      *up_node = r;
+      return true;
+    }
+  };
+  Key up_key;
+  Inner* up_node;
+  if (Rec::Insert(root_, sep, right, &up_key, &up_node)) {
+    auto* nr = new Inner;
+    nr->count = 1;
+    nr->children_are_leaves = false;
+    nr->keys[0] = up_key;
+    nr->children[0] = root_;
+    nr->children[1] = up_node;
+    root_ = nr;
+  }
+}
+
+bool FPTree::Remove(Key key) {
+  std::shared_lock<std::shared_mutex> g(inner_mutex_);
+  Leaf* l = FindLeaf(key);
+  l->lock.lock();
+  const int i = FindEntry(l, key, Fingerprint(key));
+  if (i < 0) {
+    l->lock.unlock();
+    return false;
+  }
+  l->bitmap &= ~(1ull << i);  // atomic invalidate
+  pm::Persist(&l->bitmap, sizeof(l->bitmap));
+  l->lock.unlock();
+  return true;
+}
+
+std::size_t FPTree::Scan(Key min_key, std::size_t max_results,
+                         core::Record* out) const {
+  std::shared_lock<std::shared_mutex> g(inner_mutex_);
+  const Leaf* l = FindLeaf(min_key);
+  std::size_t got = 0;
+  core::Record buf[kLeafEntries];
+  while (l != nullptr && got < max_results) {
+    l->lock.lock_shared();
+    int n = 0;
+    std::uint64_t bm = l->bitmap;
+    while (bm != 0) {
+      const int i = __builtin_ctzll(bm);
+      bm &= bm - 1;
+      if (l->entries[i].key >= min_key) {
+        buf[n++] = {l->entries[i].key, l->entries[i].val};
+      }
+    }
+    l->lock.unlock_shared();
+    // Leaf entries are unsorted: the per-leaf sort is FP-tree's range-scan
+    // penalty relative to FAST+FAIR's sorted leaves (Fig 4).
+    std::sort(buf, buf + n,
+              [](const core::Record& a, const core::Record& b) {
+                return a.key < b.key;
+              });
+    for (int i = 0; i < n && got < max_results; ++i) out[got++] = buf[i];
+    l = reinterpret_cast<const Leaf*>(l->next);
+    if (l != nullptr) pm::AnnotateRead(l);
+  }
+  return got;
+}
+
+std::size_t FPTree::CountEntries() const {
+  std::size_t total = 0;
+  for (const Leaf* l = head_; l != nullptr;
+       l = reinterpret_cast<const Leaf*>(l->next)) {
+    total += static_cast<std::size_t>(CountLeaf(l));
+  }
+  return total;
+}
+
+void FPTree::RebuildInner() {
+  std::unique_lock<std::shared_mutex> g(inner_mutex_);
+  if (root_ != nullptr) {
+    FreeInner(root_);
+    root_ = nullptr;
+  }
+  head_ = reinterpret_cast<Leaf*>(*head_slot_);
+  // Complete a torn split if the micro-log is active.
+  if (ulog_->src != 0) {
+    auto* src = reinterpret_cast<Leaf*>(ulog_->src);
+    auto* dst = reinterpret_cast<Leaf*>(ulog_->dst);
+    if (src->next != ulog_->dst) {
+      dst->next = src->next;
+      pm::Persist(&dst->next, sizeof(dst->next));
+      src->next = ulog_->dst;
+      pm::Persist(&src->next, sizeof(src->next));
+    }
+    // Remove from src anything dst already owns.
+    std::uint64_t dup = src->bitmap & dst->bitmap;
+    std::uint64_t fix = src->bitmap;
+    std::uint64_t bm = dup;
+    while (bm != 0) {
+      const int i = __builtin_ctzll(bm);
+      bm &= bm - 1;
+      if (src->entries[i].key == dst->entries[i].key) fix &= ~(1ull << i);
+    }
+    src->bitmap = fix;
+    pm::Persist(&src->bitmap, sizeof(src->bitmap));
+    ulog_->src = 0;
+    pm::Persist(&ulog_->src, sizeof(ulog_->src));
+  }
+  // Build inner levels bottom-up over non-empty leaves' minimum keys.
+  std::vector<void*> level_nodes;
+  std::vector<Key> seps;  // seps[i] separates node i-1 from node i
+  for (Leaf* l = head_; l != nullptr;
+       l = reinterpret_cast<Leaf*>(l->next)) {
+    if (l == head_ || l->bitmap != 0) level_nodes.push_back(l);
+  }
+  auto min_key = [](const Leaf* l) {
+    Key k = ~std::uint64_t{0};
+    std::uint64_t bm = l->bitmap;
+    while (bm != 0) {
+      const int i = __builtin_ctzll(bm);
+      bm &= bm - 1;
+      k = std::min(k, l->entries[i].key);
+    }
+    return k;
+  };
+  if (level_nodes.size() <= 1) return;  // single leaf: no inner structure
+  for (std::size_t i = 1; i < level_nodes.size(); ++i) {
+    seps.push_back(min_key(static_cast<Leaf*>(level_nodes[i])));
+  }
+  bool leaves = true;
+  while (level_nodes.size() > 1) {
+    std::vector<void*> next_nodes;
+    std::vector<Key> next_seps;
+    std::size_t i = 0;
+    while (i < level_nodes.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(kInnerFanout, level_nodes.size() - i);
+      auto* n = new Inner;
+      n->children_are_leaves = leaves;
+      n->count = static_cast<int>(take) - 1;
+      for (std::size_t j = 0; j < take; ++j) {
+        n->children[j] = level_nodes[i + j];
+        if (j > 0) n->keys[j - 1] = seps[i + j - 1];
+      }
+      if (i > 0) next_seps.push_back(seps[i - 1]);
+      next_nodes.push_back(n);
+      i += take;
+    }
+    level_nodes = std::move(next_nodes);
+    seps = std::move(next_seps);
+    leaves = false;
+  }
+  root_ = static_cast<Inner*>(level_nodes[0]);
+}
+
+}  // namespace fastfair::baselines

@@ -1,0 +1,110 @@
+// FP-tree baseline (Oukid et al., SIGMOD'16): selective-persistence B+-tree
+// with persistent leaves and *volatile* inner nodes [17].
+//
+// Reproduced design:
+//  * Leaves live in PM: a 64-bit validity bitmap, one-byte key
+//    *fingerprints* (reduce probed cache lines for point lookups), and
+//    unsorted entries. An insert writes entry + fingerprint, flushes, then
+//    publishes with one atomic bitmap store + flush.
+//  * Inner nodes are ordinary DRAM structures rebuilt after a restart —
+//    which is why the paper (§5, and ours) argues FP-tree forfeits instant
+//    recovery; `RebuildInner()` implements that reconstruction.
+//  * Leaf splits use a persistent micro-log (pointer pair), the leaf chain
+//    stays consistent at every step, and slot positions are preserved so the
+//    old leaf is truncated by a single bitmap store.
+//
+// Concurrency substitution (DESIGN.md §4.3): the paper synchronizes inner
+// traversal with Intel TSX (HTM). This container is not HTM-capable, so a
+// std::shared_mutex over the inner structure plus per-leaf reader-writer
+// spinlocks stand in. Readers take shared locks only; writers exclusive-lock
+// one leaf; splits exclusive-lock the inner structure.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/defs.h"
+#include "core/node.h"  // core::Record, core::RwSpinLock
+#include "pm/persist.h"
+#include "pm/pool.h"
+
+namespace fastfair::baselines {
+
+class FPTree {
+ public:
+  static constexpr int kLeafEntries = 48;   // ~1 KB PM leaves (paper setting)
+  static constexpr int kInnerFanout = 128;  // DRAM inner fan-out
+
+  explicit FPTree(pm::Pool* pool);
+  ~FPTree();
+
+  void Insert(Key key, Value value);  // upsert
+  bool Remove(Key key);
+  Value Search(Key key) const;
+  std::size_t Scan(Key min_key, std::size_t max_results,
+                   core::Record* out) const;
+
+  std::size_t CountEntries() const;
+
+  /// Reconstructs the volatile inner structure from the persistent leaf
+  /// chain — FP-tree's (non-instant) recovery path.
+  void RebuildInner();
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t val;
+  };
+
+  struct Leaf {
+    std::uint64_t bitmap;  // bit i: entries[i] live
+    std::uint64_t next;    // right sibling (PM)
+    std::uint8_t fingerprints[kLeafEntries];
+    mutable core::RwSpinLock lock;  // volatile
+    std::uint32_t pad;
+    Entry entries[kLeafEntries];
+  };
+  static_assert(sizeof(Leaf) <= 1024);
+
+  struct Inner {  // volatile (DRAM)
+    int count = 0;                  // number of keys
+    bool children_are_leaves = true;
+    Key keys[kInnerFanout - 1];
+    void* children[kInnerFanout];   // Inner* or Leaf*
+  };
+
+  struct MicroLog {  // persistent split log
+    std::uint64_t src;  // splitting leaf; 0 = idle
+    std::uint64_t dst;  // new leaf
+  };
+
+  static std::uint8_t Fingerprint(Key key) {
+    return static_cast<std::uint8_t>((key * 0x9e3779b97f4a7c15ull) >> 56);
+  }
+
+  Leaf* AllocLeaf();
+  Leaf* FindLeaf(Key key) const;  // caller holds inner_mutex_ (any mode)
+  static int FindEntry(const Leaf* l, Key key, std::uint8_t fp);
+  static int CountLeaf(const Leaf* l) {
+    return __builtin_popcountll(l->bitmap);
+  }
+
+  /// Splits `l`, returns the separator and new leaf. Caller holds the
+  /// exclusive inner lock and `l`'s write lock.
+  Key SplitLeaf(Leaf* l, Leaf** out_new);
+
+  void InnerInsert(Key sep, void* right);  // exclusive inner lock held
+  void FreeInner(Inner* n);
+
+  pm::Pool* pool_;
+  MicroLog* ulog_;
+  std::uint64_t* head_slot_;  // persistent pointer to the first leaf
+  Leaf* head_;
+  Inner* root_ = nullptr;  // null when the tree is a single leaf
+  mutable std::shared_mutex inner_mutex_;  // TSX substitute
+};
+
+}  // namespace fastfair::baselines

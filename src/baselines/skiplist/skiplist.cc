@@ -1,0 +1,162 @@
+#include "baselines/skiplist/skiplist.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fastfair::baselines {
+
+SkipList::SkipList(pm::Pool* pool) : pool_(pool) {
+  head_ = AllocNode(0, 0, kMaxLevel);
+  head_->is_head = 1;
+  pm::Persist(head_, sizeof(PNode));
+}
+
+SkipList::PNode* SkipList::AllocNode(Key key, Value value, int level) {
+  const std::size_t size =
+      sizeof(PNode) + sizeof(std::atomic<std::uint64_t>) *
+                          static_cast<std::size_t>(level > 1 ? level - 1 : 0);
+  auto* n = static_cast<PNode*>(pool_->Alloc(size, kCacheLineSize));
+  std::memset(static_cast<void*>(n), 0, size);
+  n->key = key;
+  n->val.store(value, std::memory_order_relaxed);
+  n->level = level;
+  return n;
+}
+
+int SkipList::RandomLevel() {
+  // xorshift on a shared relaxed-atomic state: races only perturb the
+  // distribution, never correctness.
+  std::uint64_t x = rng_state_.load(std::memory_order_relaxed);
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_state_.store(x, std::memory_order_relaxed);
+  int lvl = 1;
+  while (lvl < kMaxLevel && (x & 1)) {
+    x >>= 1;
+    ++lvl;
+  }
+  return lvl;
+}
+
+SkipList::PNode* SkipList::FindPosition(Key key, PNode** preds,
+                                        PNode** succs) const {
+  PNode* pred = head_;
+  for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    PNode* cur = Ptr(NextAt(pred, lvl).load(std::memory_order_acquire));
+    while (cur != nullptr && cur->key < key) {
+      pred = cur;
+      pm::AnnotateRead(cur);  // dependent pointer chase into PM
+      cur = Ptr(NextAt(pred, lvl).load(std::memory_order_acquire));
+    }
+    if (preds != nullptr) preds[lvl] = pred;
+    if (succs != nullptr) succs[lvl] = cur;
+  }
+  PNode* cand = Ptr(pred->next0.load(std::memory_order_acquire));
+  if (cand != nullptr) pm::AnnotateRead(cand);
+  return cand;
+}
+
+Value SkipList::Search(Key key) const {
+  const PNode* cand = FindPosition(key, nullptr, nullptr);
+  if (cand == nullptr || cand->key != key) return kNoValue;
+  return cand->val.load(std::memory_order_acquire);
+}
+
+void SkipList::Insert(Key key, Value value) {
+  assert(value != kNoValue);
+  PNode* preds[kMaxLevel];
+  PNode* succs[kMaxLevel];
+  for (;;) {
+    PNode* cand = FindPosition(key, preds, succs);
+    if (cand != nullptr && cand->key == key) {
+      // Upsert (also resurrects logically deleted nodes): atomic 8-byte
+      // value store + flush.
+      cand->val.store(value, std::memory_order_release);
+      pm::Persist(&cand->val, sizeof(Value));
+      return;
+    }
+    const int level = RandomLevel();
+    PNode* n = AllocNode(key, value, level);
+    n->next0.store(U64(succs[0]), std::memory_order_relaxed);
+    pm::Persist(n, sizeof(PNode));  // node durable before it is reachable
+    // Commit: one 8-byte CAS on the predecessor's bottom link, flushed.
+    std::uint64_t expected = U64(succs[0]);
+    if (!preds[0]->next0.compare_exchange_strong(expected, U64(n),
+                                                 std::memory_order_acq_rel)) {
+      continue;  // raced; recompute position (node leaks, unreachable)
+    }
+    pm::Persist(&preds[0]->next0, sizeof(std::uint64_t));
+    // Upper levels: volatile express lanes, CAS with per-level retry.
+    for (int lvl = 1; lvl < level; ++lvl) {
+      for (;;) {
+        NextAt(n, lvl).store(U64(succs[lvl]), std::memory_order_relaxed);
+        std::uint64_t exp = U64(succs[lvl]);
+        if (NextAt(preds[lvl], lvl)
+                .compare_exchange_strong(exp, U64(n),
+                                         std::memory_order_acq_rel)) {
+          break;
+        }
+        FindPosition(key, preds, succs);  // recompute and retry this level
+      }
+    }
+    return;
+  }
+}
+
+bool SkipList::Remove(Key key) {
+  PNode* cand = FindPosition(key, nullptr, nullptr);
+  if (cand == nullptr || cand->key != key) return false;
+  // Logical delete: claim the value with CAS so concurrent removers cannot
+  // both return true; one persisted 8-byte store commits it.
+  std::uint64_t v = cand->val.load(std::memory_order_acquire);
+  for (;;) {
+    if (v == kNoValue) return false;  // already deleted
+    if (cand->val.compare_exchange_weak(v, kNoValue,
+                                        std::memory_order_acq_rel)) {
+      pm::Persist(&cand->val, sizeof(Value));
+      return true;
+    }
+  }
+}
+
+std::size_t SkipList::Scan(Key min_key, std::size_t max_results,
+                           core::Record* out) const {
+  const PNode* n = FindPosition(min_key, nullptr, nullptr);
+  std::size_t got = 0;
+  while (n != nullptr && got < max_results) {
+    const Value v = n->val.load(std::memory_order_acquire);
+    if (v != kNoValue && n->key >= min_key) out[got++] = {n->key, v};
+    n = Ptr(n->next0.load(std::memory_order_acquire));
+    if (n != nullptr) pm::AnnotateRead(n);
+  }
+  return got;
+}
+
+std::size_t SkipList::CountEntries() const {
+  std::size_t total = 0;
+  for (const PNode* n = Ptr(head_->next0.load(std::memory_order_acquire));
+       n != nullptr; n = Ptr(n->next0.load(std::memory_order_acquire))) {
+    total += n->val.load(std::memory_order_relaxed) != kNoValue;
+  }
+  return total;
+}
+
+void SkipList::RebuildIndex() {
+  // Recovery: clear all express lanes, then re-link towers bottom-up.
+  for (int lvl = 1; lvl < kMaxLevel; ++lvl) {
+    NextAt(head_, lvl).store(0, std::memory_order_relaxed);
+  }
+  PNode* tails[kMaxLevel];
+  for (auto& t : tails) t = head_;
+  for (PNode* n = Ptr(head_->next0.load(std::memory_order_relaxed));
+       n != nullptr; n = Ptr(n->next0.load(std::memory_order_relaxed))) {
+    for (int lvl = 1; lvl < n->level; ++lvl) {
+      NextAt(tails[lvl], lvl).store(U64(n), std::memory_order_relaxed);
+      NextAt(n, lvl).store(0, std::memory_order_relaxed);
+      tails[lvl] = n;
+    }
+  }
+}
+
+}  // namespace fastfair::baselines

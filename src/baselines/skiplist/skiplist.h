@@ -1,0 +1,77 @@
+// Persistent skip list baseline (Hu et al., ATC'17 log-structured NVMM [33]).
+//
+// The property the paper leans on: only the *lowest* level of a skip list
+// needs failure-atomic updates. An insert persists the new node, then
+// commits it with one 8-byte CAS on the predecessor's bottom-level link
+// (plus a flush). All upper-level "express lane" links are volatile index
+// state, rebuilt on recovery by walking the bottom level. Deletes are
+// logical (value := kNoValue, one atomic persisted store), so the structure
+// never physically unlinks and searches are naturally lock-free — matching
+// the paper's observation that the skip list, like FAST+FAIR, needs no
+// logging and no read locks (§5.7), while its per-node pointer chasing
+// gives it the worst cache behaviour of the fleet (Fig 5).
+//
+// Fully concurrent: lock-free searches, CAS-with-retry inserts.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/defs.h"
+#include "common/rng.h"
+#include "core/node.h"  // core::Record
+#include "pm/persist.h"
+#include "pm/pool.h"
+
+namespace fastfair::baselines {
+
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 20;  // 2^20 expected capacity and beyond
+
+  explicit SkipList(pm::Pool* pool);
+
+  void Insert(Key key, Value value);  // upsert
+  bool Remove(Key key);              // logical delete
+  Value Search(Key key) const;
+  std::size_t Scan(Key min_key, std::size_t max_results,
+                   core::Record* out) const;
+
+  std::size_t CountEntries() const;
+
+  /// Recovery: rebuilds the volatile upper levels from the persistent
+  /// bottom level.
+  void RebuildIndex();
+
+ private:
+  struct PNode {
+    std::uint64_t key;
+    std::atomic<std::uint64_t> val;    // persisted; kNoValue = deleted
+    std::atomic<std::uint64_t> next0;  // persisted bottom-level link
+    std::int32_t level;                // tower height (1..kMaxLevel)
+    std::uint32_t is_head;
+    std::atomic<std::uint64_t> nexts[1];  // levels 1..level-1 (volatile)
+  };
+
+  static PNode* Ptr(std::uint64_t p) { return reinterpret_cast<PNode*>(p); }
+  static std::uint64_t U64(const PNode* p) {
+    return reinterpret_cast<std::uint64_t>(p);
+  }
+  static std::atomic<std::uint64_t>& NextAt(PNode* n, int lvl) {
+    return lvl == 0 ? n->next0 : n->nexts[lvl - 1];
+  }
+
+  PNode* AllocNode(Key key, Value value, int level);
+  int RandomLevel();
+
+  /// Fills preds/succs at every level for `key`; returns the bottom-level
+  /// candidate (first node with node->key >= key) or nullptr.
+  PNode* FindPosition(Key key, PNode** preds, PNode** succs) const;
+
+  pm::Pool* pool_;
+  PNode* head_;
+  mutable std::atomic<std::uint64_t> rng_state_{0x853c49e6748fea9bull};
+};
+
+}  // namespace fastfair::baselines

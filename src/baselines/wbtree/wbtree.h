@@ -1,0 +1,122 @@
+// wB+-tree baseline (Chen & Jin, PVLDB'15): "write-atomic" B+-tree with
+// slot-array + bitmap nodes, the paper's primary persistent-B+-tree
+// comparison point [14].
+//
+// Design reproduced here:
+//  * Entries are appended unsorted into any free slot; a per-node *slot
+//    array* (slots[0] = count, slots[1..count] = entry indices in key order)
+//    provides sorted access, and a 64-bit *bitmap* whose bit 0 validates the
+//    slot array and bits 1..N validate entries makes updates failure-atomic:
+//    the final 8-byte bitmap store atomically publishes both the new entry
+//    and the new slot array.
+//  * An insert therefore costs >= 4 cache-line flushes (entry, bitmap
+//    invalidate, slot array, bitmap validate) — the count the paper's
+//    Fig 5(a) breakdown shows dominating wB+-tree.
+//  * Structural modifications (splits) are protected by undo logging of the
+//    affected node images, the expense the FAIR algorithm eliminates.
+//
+// Scope: single-threaded, like the paper's evaluation of it (wB+-tree "is
+// not designed to handle concurrent queries", §5.7).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/defs.h"
+#include "core/node.h"  // core::Record
+#include "pm/persist.h"
+#include "pm/pool.h"
+
+namespace fastfair::baselines {
+
+class WBTree {
+ public:
+  /// Node size fixed at 1 KB: the paper pins wB+-tree at 1 KB "because each
+  /// node can hold no more than 64 entries" (slot indices are bytes).
+  static constexpr std::size_t kNodeSize = 1024;
+
+  explicit WBTree(pm::Pool* pool);
+
+  void Insert(Key key, Value value);  // upsert
+  bool Remove(Key key);
+  Value Search(Key key) const;
+  std::size_t Scan(Key min_key, std::size_t max_results,
+                   core::Record* out) const;
+
+  int Height() const;
+  std::size_t CountEntries() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t val;
+  };
+
+  // 1 KB = 40B header + 64B slot array + 56 entries * 16B.
+  static constexpr int kEntries = 56;
+  static constexpr int kSlotBytes = 64;
+
+  struct Node {
+    std::uint64_t bitmap;    // bit0: slot array valid; bit i+1: entry i live
+    std::uint64_t next;      // right sibling (leaf scan chain)
+    std::uint64_t leftmost;  // internal: child for key < smallest key
+    std::uint32_t level;     // 0 = leaf
+    std::uint32_t pad;
+    std::uint8_t reserved[32];  // pads the header to one cache line
+    std::uint8_t slots[kSlotBytes];
+    Entry entries[kEntries];
+
+    int count() const { return slots[0]; }
+    bool is_leaf() const { return level == 0; }
+    Key KeyAt(int sorted_pos) const {  // 0-based over sorted view
+      return entries[slots[sorted_pos + 1]].key;
+    }
+    Entry& EntryAt(int sorted_pos) { return entries[slots[sorted_pos + 1]]; }
+    const Entry& EntryAt(int sorted_pos) const {
+      return entries[slots[sorted_pos + 1]];
+    }
+  };
+  static_assert(sizeof(Node) == kNodeSize);
+
+  // Undo log for structural modification (split) transactions: images of
+  // every node a cascading split will modify, restored on recovery.
+  static constexpr int kMaxLoggedNodes = 8;
+  struct UndoLog {
+    std::uint64_t active;  // number of valid images; 0 = idle (commit point)
+    std::uint64_t addrs[kMaxLoggedNodes];
+    std::uint8_t images[kMaxLoggedNodes][kNodeSize];
+  };
+
+  Node* AllocNode(std::uint32_t level);
+  Node* Root() const { return root_; }
+
+  /// Descends to the leaf covering `key`, recording the internal path
+  /// (parents, root first).
+  Node* FindLeaf(Key key, std::vector<Node*>* path) const;
+
+  /// Sorted position of the first key > `key` (via slot array).
+  static int UpperBound(const Node* n, Key key);
+  /// Child covering `key` in an internal node.
+  static Node* Child(const Node* n, Key key);
+
+  /// Failure-atomic in-node insert via the slot+bitmap protocol. Node must
+  /// not be full.
+  static void NodeInsert(Node* n, Key key, std::uint64_t val);
+  static bool NodeRemove(Node* n, Key key);
+  static int FindFreeSlot(const Node* n);
+
+  void LogNode(Node* n);
+  void CommitLog();
+  void RecoverFromLog();
+
+  /// Splits `leaf` (and cascading full parents on `path`), then inserts.
+  void SplitAndInsert(Node* leaf, std::vector<Node*>* path, Key key,
+                      std::uint64_t val);
+
+  pm::Pool* pool_;
+  Node* root_;
+  UndoLog* log_;
+};
+
+}  // namespace fastfair::baselines

@@ -1,0 +1,255 @@
+#include "baselines/wort/wort.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fastfair::baselines {
+
+Wort::Wort(pm::Pool* pool) : pool_(pool) {
+  root_slot_ =
+      static_cast<std::uint64_t*>(pool->Alloc(sizeof(std::uint64_t), 8));
+  *root_slot_ = 0;
+  pm::Persist(root_slot_, sizeof(std::uint64_t));
+}
+
+Wort::Node* Wort::AllocNode(int depth) {
+  auto* n = static_cast<Node*>(pool_->Alloc(sizeof(Node), kCacheLineSize));
+  std::memset(n, 0, sizeof(Node));
+  n->hdr.depth = static_cast<std::uint8_t>(depth);
+  return n;
+}
+
+namespace {
+/// Persists a freshly built node touching only its initialized cache lines
+/// (header line plus the lines holding the given child slots) — WORT's
+/// write-optimality depends on not flushing untouched lines.
+template <typename NodeT>
+void PersistNodeSparse(const NodeT* n, int c1, int c2) {
+  const auto* base = reinterpret_cast<const char*>(n);
+  pm::FlushRange(base, kCacheLineSize);  // header + children[0..6]
+  const auto line_of = [](int c) { return (8 + 8 * c) / 64; };
+  if (c1 >= 0 && line_of(c1) != 0) {
+    pm::FlushRange(base + line_of(c1) * kCacheLineSize, kCacheLineSize);
+  }
+  if (c2 >= 0 && line_of(c2) != 0 && (c1 < 0 || line_of(c2) != line_of(c1))) {
+    pm::FlushRange(base + line_of(c2) * kCacheLineSize, kCacheLineSize);
+  }
+  pm::Sfence();
+}
+}  // namespace
+
+Wort::LeafRec* Wort::AllocLeaf(Key key, Value value) {
+  auto* l = static_cast<LeafRec*>(pool_->Alloc(sizeof(LeafRec), 8));
+  l->key = key;
+  l->val = value;
+  pm::Persist(l, sizeof(LeafRec));
+  return l;
+}
+
+std::uint64_t Wort::BuildDiverging(Key a, std::uint64_t a_child, Key b,
+                                   std::uint64_t b_child, int pos) {
+  // Count common nibbles from `pos`.
+  int common = 0;
+  while (pos + common < kNibbles &&
+         NibbleAt(a, pos + common) == NibbleAt(b, pos + common)) {
+    ++common;
+  }
+  assert(pos + common < kNibbles && "duplicate keys reach BuildDiverging");
+  // Deepest node: consumes the diverging nibble at pos+common, compressing
+  // up to kMaxPrefix of the preceding shared nibbles.
+  const int deep_take = common < kMaxPrefix ? common : kMaxPrefix;
+  const int div = pos + common;
+  Node* n = AllocNode(div);
+  n->hdr.prefix_len = static_cast<std::uint8_t>(deep_take);
+  for (int i = 0; i < deep_take; ++i) {
+    n->hdr.prefix[i] =
+        static_cast<std::uint8_t>(NibbleAt(a, div - deep_take + i));
+  }
+  n->children[NibbleAt(a, div)] = a_child;
+  n->children[NibbleAt(b, div)] = b_child;
+  PersistNodeSparse(n, NibbleAt(a, div), NibbleAt(b, div));
+  std::uint64_t result = reinterpret_cast<std::uint64_t>(n);
+
+  // Shared nibbles that did not fit become single-child chain nodes above;
+  // each covers up to kMaxPrefix prefix nibbles plus its one edge nibble.
+  // `end` = first nibble index not yet covered, walking upward.
+  int end = div - deep_take;
+  while (end > pos) {
+    const int span = end - pos;
+    const int take = span < kMaxPrefix + 1 ? span : kMaxPrefix + 1;
+    Node* c = AllocNode(end - 1);
+    c->hdr.prefix_len = static_cast<std::uint8_t>(take - 1);
+    for (int i = 0; i < take - 1; ++i) {
+      c->hdr.prefix[i] = static_cast<std::uint8_t>(NibbleAt(a, end - take + i));
+    }
+    c->children[NibbleAt(a, end - 1)] = result;
+    PersistNodeSparse(c, NibbleAt(a, end - 1), -1);
+    result = reinterpret_cast<std::uint64_t>(c);
+    end -= take;
+  }
+  return result;
+}
+
+void Wort::Insert(Key key, Value value) {
+  assert(value != kNoValue);
+  std::uint64_t* slot = root_slot_;
+  int pos = 0;
+  for (;;) {
+    const std::uint64_t cur = *slot;
+    if (cur == 0) {
+      LeafRec* l = AllocLeaf(key, value);
+      *slot = TagLeaf(l);  // 8-byte atomic commit
+      pm::Persist(slot, sizeof(std::uint64_t));
+      return;
+    }
+    if (IsLeaf(cur)) {
+      LeafRec* ex = AsLeaf(cur);
+      if (ex->key == key) {  // upsert: atomic 8-byte value store
+        ex->val = value;
+        pm::Persist(&ex->val, sizeof(ex->val));
+        return;
+      }
+      LeafRec* l = AllocLeaf(key, value);
+      const std::uint64_t sub =
+          BuildDiverging(ex->key, cur, key, TagLeaf(l), pos);
+      *slot = sub;  // 8-byte atomic commit
+      pm::Persist(slot, sizeof(std::uint64_t));
+      return;
+    }
+    Node* n = AsNode(cur);
+    pm::AnnotateRead(n);
+    const int plen = n->hdr.prefix_len;
+    int mismatch = -1;
+    for (int i = 0; i < plen; ++i) {
+      if (NibbleAt(key, pos + i) != n->hdr.prefix[i]) {
+        mismatch = i;
+        break;
+      }
+    }
+    if (mismatch < 0) {
+      pos += plen;
+      slot = &n->children[NibbleAt(key, pos)];
+      pos += 1;
+      continue;
+    }
+    // Prefix mismatch at offset `mismatch`: copy n with the shortened
+    // prefix, then commit a new discriminating parent (see header note).
+    Node* n2 = AllocNode(n->hdr.depth);
+    std::memcpy(n2, n, sizeof(Node));
+    const int keep = plen - mismatch - 1;  // nibbles after the divergence
+    n2->hdr.prefix_len = static_cast<std::uint8_t>(keep);
+    std::memmove(n2->hdr.prefix, n->hdr.prefix + mismatch + 1,
+                 static_cast<std::size_t>(keep));
+    pm::Persist(n2, sizeof(Node));
+    // Existing subtree's full key path: reconstruct enough of a key to
+    // address it (prefix nibbles already matched ones + its own stored
+    // prefix nibbles).
+    Key ex_key = key;
+    for (int i = 0; i < plen; ++i) {
+      const int shift = 60 - 4 * (pos + i);
+      ex_key = (ex_key & ~(0xfull << shift)) |
+               (static_cast<std::uint64_t>(n->hdr.prefix[i]) << shift);
+    }
+    LeafRec* l = AllocLeaf(key, value);
+    const std::uint64_t sub =
+        BuildDiverging(ex_key, reinterpret_cast<std::uint64_t>(n2), key,
+                       TagLeaf(l), pos);
+    *slot = sub;  // 8-byte atomic commit; old n leaks (unreachable garbage)
+    pm::Persist(slot, sizeof(std::uint64_t));
+    return;
+  }
+}
+
+Value Wort::Search(Key key) const {
+  std::uint64_t cur = *root_slot_;
+  int pos = 0;
+  while (cur != 0) {
+    if (IsLeaf(cur)) {
+      const LeafRec* l = AsLeaf(cur);
+      pm::AnnotateRead(l);
+      return l->key == key ? l->val : kNoValue;
+    }
+    const Node* n = AsNode(cur);
+    pm::AnnotateRead(n);
+    const int plen = n->hdr.prefix_len;
+    for (int i = 0; i < plen; ++i) {
+      if (NibbleAt(key, pos + i) != n->hdr.prefix[i]) return kNoValue;
+    }
+    pos += plen;
+    cur = n->children[NibbleAt(key, pos)];
+    pos += 1;
+  }
+  return kNoValue;
+}
+
+bool Wort::Remove(Key key) {
+  std::uint64_t* slot = root_slot_;
+  int pos = 0;
+  for (;;) {
+    const std::uint64_t cur = *slot;
+    if (cur == 0) return false;
+    if (IsLeaf(cur)) {
+      if (AsLeaf(cur)->key != key) return false;
+      *slot = 0;  // 8-byte atomic unlink; leaf leaks (no merge, as in WORT)
+      pm::Persist(slot, sizeof(std::uint64_t));
+      return true;
+    }
+    Node* n = AsNode(cur);
+    const int plen = n->hdr.prefix_len;
+    for (int i = 0; i < plen; ++i) {
+      if (NibbleAt(key, pos + i) != n->hdr.prefix[i]) return false;
+    }
+    pos += plen;
+    slot = &n->children[NibbleAt(key, pos)];
+    pos += 1;
+  }
+}
+
+std::size_t Wort::ScanRec(std::uint64_t child, int pos, std::uint64_t acc,
+                          Key min_key, std::size_t max_results,
+                          core::Record* out, std::size_t got) const {
+  if (child == 0 || got >= max_results) return got;
+  if (IsLeaf(child)) {
+    const LeafRec* l = AsLeaf(child);
+    pm::AnnotateRead(l);
+    if (l->key >= min_key) out[got++] = {l->key, l->val};
+    return got;
+  }
+  const Node* n = AsNode(child);
+  pm::AnnotateRead(n);
+  std::uint64_t a = acc;
+  int p = pos;
+  for (int i = 0; i < n->hdr.prefix_len; ++i) {
+    a |= static_cast<std::uint64_t>(n->hdr.prefix[i]) << (60 - 4 * p);
+    ++p;
+  }
+  for (int c = 0; c < 16 && got < max_results; ++c) {
+    const std::uint64_t a2 =
+        a | (static_cast<std::uint64_t>(c) << (60 - 4 * p));
+    // Subtree upper bound: remaining low bits all ones.
+    const int consumed = 4 * (p + 1);
+    const std::uint64_t hi =
+        consumed >= 64 ? a2 : a2 | ((1ull << (64 - consumed)) - 1);
+    if (hi < min_key) continue;  // prune left of the range
+    got = ScanRec(n->children[c], p + 1, a2, min_key, max_results, out, got);
+  }
+  return got;
+}
+
+std::size_t Wort::Scan(Key min_key, std::size_t max_results,
+                       core::Record* out) const {
+  return ScanRec(*root_slot_, 0, 0, min_key, max_results, out, 0);
+}
+
+std::size_t Wort::CountRec(std::uint64_t child) const {
+  if (child == 0) return 0;
+  if (IsLeaf(child)) return 1;
+  const Node* n = AsNode(child);
+  std::size_t total = 0;
+  for (int c = 0; c < 16; ++c) total += CountRec(n->children[c]);
+  return total;
+}
+
+std::size_t Wort::CountEntries() const { return CountRec(*root_slot_); }
+
+}  // namespace fastfair::baselines

@@ -1,0 +1,57 @@
+#include "bench/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace fastfair::bench {
+
+std::size_t Options::ScaledN(std::size_t paper_n) const {
+  if (n_override != 0) return n_override;
+  if (scale == "paper") return paper_n;
+  if (scale == "small") return paper_n / 20;  // e.g. 10 M -> 500 K
+  if (scale == "ci") return paper_n / 200;    // e.g. 10 M -> 50 K
+  throw std::invalid_argument("unknown --scale: " + scale);
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--scale=")) {
+      o.scale = v;
+    } else if (const char* v = val("--n=")) {
+      o.n_override = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--threads=")) {
+      o.threads.clear();
+      const char* p = v;
+      while (*p != '\0') {
+        o.threads.push_back(static_cast<int>(std::strtol(p, nullptr, 10)));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "options: --scale=ci|small|paper --n=N --threads=1,2,4 --csv "
+          "--seed=S\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  if (o.threads.empty()) o.threads = {1, 2, 4, 8, 16, 32};
+  return o;
+}
+
+}  // namespace fastfair::bench

@@ -1,0 +1,32 @@
+// Minimal CLI option parsing shared by the bench binaries.
+//
+// Every bench accepts:
+//   --scale=ci|small|paper   dataset sizing (default small; paper = the
+//                            sizes in the publication, hours on one core)
+//   --n=<count>              explicit dataset size override
+//   --threads=<list>         comma-separated thread counts (Fig 7)
+//   --csv                    machine-readable output
+//   --seed=<u64>             workload seed
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastfair::bench {
+
+struct Options {
+  std::string scale = "small";
+  std::size_t n_override = 0;
+  std::vector<int> threads;
+  bool csv = false;
+  std::uint64_t seed = 20180213;  // FAST'18 opening day
+
+  /// Dataset size for a microbench whose paper-scale count is `paper_n`.
+  std::size_t ScaledN(std::size_t paper_n) const;
+};
+
+Options ParseOptions(int argc, char** argv);
+
+}  // namespace fastfair::bench

@@ -1,0 +1,38 @@
+#include "bench/runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "bench/stats.h"
+
+namespace fastfair::bench {
+
+void LoadIndex(Index* idx, const std::vector<Key>& keys) {
+  for (const Key k : keys) idx->Insert(k, ValueFor(k));
+}
+
+std::uint64_t RunThreads(
+    int nthreads, std::size_t total,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  const std::size_t chunk =
+      (total + static_cast<std::size_t>(nthreads) - 1) /
+      static_cast<std::size_t>(nthreads);
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+      const std::size_t end = std::min(total, begin + chunk);
+      if (begin < end) fn(t, begin, end);
+    });
+  }
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  return timer.ElapsedNs();
+}
+
+}  // namespace fastfair::bench

@@ -1,0 +1,30 @@
+// Shared bench drivers: index loading and the multi-threaded harness used
+// by the Fig 7 experiments.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bench/workload.h"
+#include "index/index.h"
+
+namespace fastfair::bench {
+
+/// Bulk-loads `keys` into `idx`, single-threaded (value = ValueFor(key)).
+void LoadIndex(Index* idx, const std::vector<Key>& keys);
+
+/// Value convention used by LoadIndex and all benches: 2k+1 is non-zero and
+/// injective mod 2^64, so no two keys ever carry equal values — required by
+/// the duplicate-pointer validity rule (see core/btree.h).
+inline Value ValueFor(Key k) { return 2 * k + 1; }
+
+/// Partitions [0, total) across `nthreads` threads and runs
+/// fn(thread_id, begin, end) on each; returns wall nanoseconds of the
+/// slowest thread (barrier start).
+std::uint64_t RunThreads(
+    int nthreads, std::size_t total,
+    const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+}  // namespace fastfair::bench

@@ -1,0 +1,2 @@
+// Intentionally header-only (bench/stats.h); this TU anchors the target.
+#include "bench/stats.h"

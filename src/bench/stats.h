@@ -1,0 +1,64 @@
+// Measurement helpers: wall-clock timing, per-op averages, and the Fig 5(a)
+// insert-time breakdown built on the pm layer's per-thread counters.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pm/persist.h"
+
+namespace fastfair::bench {
+
+/// Monotonic stopwatch (nanoseconds).
+class Timer {
+ public:
+  Timer() : start_(pm::NowNs()) {}
+  void Reset() { start_ = pm::NowNs(); }
+  std::uint64_t ElapsedNs() const { return pm::NowNs() - start_; }
+  double ElapsedUs() const { return static_cast<double>(ElapsedNs()) / 1e3; }
+  double ElapsedSec() const {
+    return static_cast<double>(ElapsedNs()) / 1e9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Measures a phase: wall time plus the delta of PM counters, so callers can
+/// split "clflush time" out of a phase total (Fig 5(a) methodology — see
+/// EXPERIMENTS.md).
+struct PhaseResult {
+  std::uint64_t wall_ns = 0;
+  pm::ThreadStats pm;  // counter deltas across the phase
+
+  double PerOpUs(std::size_t ops) const {
+    return static_cast<double>(wall_ns) / 1e3 / static_cast<double>(ops);
+  }
+  double FlushPerOp(std::size_t ops) const {
+    return static_cast<double>(pm.flush_lines) / static_cast<double>(ops);
+  }
+  double FlushUsPerOp(std::size_t ops) const {
+    return static_cast<double>(pm.flush_ns) / 1e3 /
+           static_cast<double>(ops);
+  }
+};
+
+template <typename Fn>
+PhaseResult MeasurePhase(Fn&& fn) {
+  const pm::ThreadStats before = pm::Stats();
+  Timer t;
+  fn();
+  PhaseResult r;
+  r.wall_ns = t.ElapsedNs();
+  r.pm = pm::Stats() - before;
+  return r;
+}
+
+/// Kops/sec for `ops` operations over `wall_ns`.
+inline double Kops(std::size_t ops, std::uint64_t wall_ns) {
+  return static_cast<double>(ops) / (static_cast<double>(wall_ns) / 1e9) /
+         1e3;
+}
+
+}  // namespace fastfair::bench

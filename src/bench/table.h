@@ -1,0 +1,32 @@
+// Plain-text result tables: every bench binary prints the rows/series of
+// the paper figure it reproduces in this format, and EXPERIMENTS.md copies
+// them verbatim.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastfair::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders with aligned columns to stdout.
+  void Print() const;
+
+  /// Comma-separated dump (for plotting scripts).
+  void PrintCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastfair::bench

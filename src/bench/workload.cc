@@ -1,0 +1,81 @@
+#include "bench/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fastfair::bench {
+
+std::vector<Key> UniformKeys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<Key> seen;
+  seen.reserve(n * 2);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    const Key k = rng.Next();
+    if (k == 0) continue;
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<Key> UniformKeysInRange(std::size_t n, Key universe,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.NextBounded(universe) + 1);
+  }
+  return keys;
+}
+
+std::vector<std::uint32_t> Permutation(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint32_t>(i);
+  Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[rng.NextBounded(i)]);
+  }
+  return p;
+}
+
+std::vector<RangeQuery> RangeQueries(const std::vector<Key>& dataset,
+                                     double selection_ratio,
+                                     std::size_t num_queries,
+                                     std::uint64_t seed) {
+  std::vector<Key> sorted = dataset;
+  std::sort(sorted.begin(), sorted.end());
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(sorted.size()) * selection_ratio / 100.0);
+  Rng rng(seed);
+  std::vector<RangeQuery> qs;
+  qs.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const std::size_t pos =
+        rng.NextBounded(sorted.size() - std::min(count, sorted.size() - 1));
+    qs.push_back({sorted[pos], count});
+  }
+  return qs;
+}
+
+std::vector<Op> MixedOps(std::size_t n, Key universe, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  // Paper §5.7: "each thread alternates between four insert queries, sixteen
+  // search queries, and one delete query".
+  static constexpr OpType kPattern[21] = {
+      OpType::kInsert, OpType::kSearch, OpType::kSearch, OpType::kSearch,
+      OpType::kSearch, OpType::kInsert, OpType::kSearch, OpType::kSearch,
+      OpType::kSearch, OpType::kSearch, OpType::kInsert, OpType::kSearch,
+      OpType::kSearch, OpType::kSearch, OpType::kSearch, OpType::kInsert,
+      OpType::kSearch, OpType::kSearch, OpType::kSearch, OpType::kSearch,
+      OpType::kDelete};
+  for (std::size_t i = 0; i < n; ++i) {
+    ops.push_back({kPattern[i % 21], rng.NextBounded(universe) + 1});
+  }
+  return ops;
+}
+
+}  // namespace fastfair::bench

@@ -1,0 +1,50 @@
+// Workload generators for the evaluation harness.
+//
+// The paper's microbenchmarks index N uniformly random 8-byte keys and then
+// issue point lookups / range queries / deletes over them (§5). Generators
+// here are deterministic given a seed so every index sees the identical
+// operation stream.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/defs.h"
+#include "common/rng.h"
+
+namespace fastfair::bench {
+
+/// N distinct uniformly random keys (non-zero, full 64-bit range).
+std::vector<Key> UniformKeys(std::size_t n, std::uint64_t seed);
+
+/// N keys drawn uniformly from [1, universe]; duplicates possible (used for
+/// mixed workloads where upserts/deletes collide on purpose).
+std::vector<Key> UniformKeysInRange(std::size_t n, Key universe,
+                                    std::uint64_t seed);
+
+/// A random permutation of [0, n).
+std::vector<std::uint32_t> Permutation(std::size_t n, std::uint64_t seed);
+
+/// Range-query descriptors for a selection-ratio experiment (Fig 4): each
+/// query scans `ratio * dataset_size` consecutive keys starting at a random
+/// position in the sorted key space.
+struct RangeQuery {
+  Key start;
+  std::size_t count;
+};
+std::vector<RangeQuery> RangeQueries(const std::vector<Key>& dataset,
+                                     double selection_ratio,
+                                     std::size_t num_queries,
+                                     std::uint64_t seed);
+
+/// Mixed-operation stream (Fig 7(c)): per 21 ops, 16 searches, 4 inserts,
+/// 1 delete, as in the paper's Mixed workload.
+enum class OpType : std::uint8_t { kSearch, kInsert, kDelete };
+struct Op {
+  OpType type;
+  Key key;
+};
+std::vector<Op> MixedOps(std::size_t n, Key universe, std::uint64_t seed);
+
+}  // namespace fastfair::bench

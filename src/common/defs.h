@@ -1,0 +1,41 @@
+// Common type definitions shared by every fastfair subsystem.
+//
+// The paper's structures index 8-byte keys against 8-byte pointers; 8 bytes is
+// the unit of failure-atomic stores on the target architectures, so both Key
+// and Value are fixed 64-bit types rather than template parameters.  Value 0
+// is reserved: it doubles as the "empty slot" terminator inside tree nodes
+// (the paper scans `records[i].ptr != NULL`) and as the "not found" result.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fastfair {
+
+using Key = std::uint64_t;
+using Value = std::uint64_t;
+
+/// Reserved value meaning "no entry" / "not found".
+inline constexpr Value kNoValue = 0;
+
+/// Size of a CPU cache line; the unit of transfer between cache and PM.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Unit of failure-atomic stores (one word on x86-64).
+inline constexpr std::size_t kAtomicWriteSize = 8;
+
+/// Rounds `n` up to the next multiple of `align` (power of two).
+constexpr std::size_t AlignUp(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FASTFAIR_LIKELY(x) __builtin_expect(!!(x), 1)
+#define FASTFAIR_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define FASTFAIR_LIKELY(x) (x)
+#define FASTFAIR_UNLIKELY(x) (x)
+#endif
+
+}  // namespace fastfair

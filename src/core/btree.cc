@@ -1,0 +1,15 @@
+// Explicit instantiations of the node sizes the evaluation sweeps (Fig 3)
+// plus the 512-byte default. Keeping them here keeps every other TU's
+// compile time down.
+
+#include "core/btree.h"
+
+namespace fastfair::core {
+
+template class BTreeT<256>;
+template class BTreeT<512>;
+template class BTreeT<1024>;
+template class BTreeT<2048>;
+template class BTreeT<4096>;
+
+}  // namespace fastfair::core

@@ -1,0 +1,213 @@
+// FAST+FAIR persistent B+-tree: the paper's primary contribution.
+//
+// Public API (all methods thread-safe):
+//
+//   pm::Pool pool(1ull << 30);
+//   core::BTree tree(&pool);              // 512-byte nodes, lock-free reads
+//   tree.Insert(k, v);                    // upsert; v must be non-zero
+//   Value v = tree.Search(k);             // lock-free, non-blocking
+//   tree.Remove(k);
+//   tree.Scan(lo, n, out);                // sorted range scan via leaf chain
+//
+// Durability contract: when Insert/Remove returns, the operation is
+// persistent.  At *every* instant in between, the durable bytes form a tree
+// that readers (and post-crash recovery) interpret correctly — that is the
+// paper's "endurable transient inconsistency".  No logging, no
+// copy-on-write, no read latches (in kLockFree mode).
+//
+// Value-uniqueness contract (paper §3.1: "all pointers in B+-tree nodes are
+// unique"): the duplicate-pointer validity rule requires that two *adjacent*
+// records in one node never legitimately share a value.  Store pointers or
+// otherwise distinct values; kNoValue (0) is reserved.
+//
+// Node size is a template parameter (the Fig 3 experiment sweeps it);
+// BTreeT<512> is the paper's default and is aliased as BTree.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/defs.h"
+#include "core/mem_policy.h"
+#include "core/node.h"
+#include "core/node_ops.h"
+#include "pm/persist.h"
+#include "pm/pool.h"
+
+namespace fastfair::core {
+
+enum class ConcurrencyMode : std::uint8_t {
+  kLockFree,  // readers never lock (read-uncommitted, paper §4.1)
+  kLeafLock,  // readers take a shared leaf latch (serializable commits)
+};
+
+enum class RebalanceMode : std::uint8_t {
+  kFair,     // FAIR in-place split (the paper's contribution)
+  kLogging,  // FAST+Logging baseline: undo-log the node image before split
+};
+
+enum class SearchMode : std::uint8_t {
+  kLinear,  // required for lock-free reads; fast at small node sizes
+  kBinary,  // single-threaded only (Fig 3 comparison)
+};
+
+struct Options {
+  ConcurrencyMode concurrency = ConcurrencyMode::kLockFree;
+  RebalanceMode rebalance = RebalanceMode::kFair;
+  SearchMode search = SearchMode::kLinear;
+  // Lazy reclamation of emptied leaves (paper §4.2's merge path):
+  // empty leaves are marked dead, unlinked from the chain, and their
+  // parent routes repaired lazily. Verified by tests/btree_merge_test for
+  // single-writer workloads; the multi-writer interaction of unlinking
+  // with concurrent structural changes is not yet proven, so the feature
+  // is opt-in (without it empty leaves are simply tolerated, exactly as
+  // the authors' reference implementation does).
+  bool reclaim_empty_leaves = false;
+};
+
+/// Persistent per-tree anchor. Lives in the pool; an application stores its
+/// address (e.g. via Pool::SetRoot) to find the tree after restart.
+struct TreeMeta {
+  std::uint64_t magic;
+  std::uint64_t root;       // Node<PageSize>*; updated by 8-byte CAS + flush
+  std::uint64_t page_size;
+  std::uint64_t split_log;  // SplitLog* (RebalanceMode::kLogging only)
+};
+
+inline constexpr std::uint64_t kTreeMagic = 0xb7ee'fa57'fa12ull;
+
+template <std::size_t PageSize = 512>
+class BTreeT {
+ public:
+  using NodeT = Node<PageSize>;
+  using Ops = NodeOps<NodeT, RealMem>;
+  static constexpr std::size_t kPageSize = PageSize;
+  static constexpr int kNodeCapacity = NodeT::kCapacity;
+
+  /// Creates a new empty tree in `pool`.
+  explicit BTreeT(pm::Pool* pool, const Options& opts = {});
+
+  /// Attaches to an existing tree (recovery path). Reinitializes volatile
+  /// lock words and adopts any crash-orphaned root-level siblings; node
+  /// interior inconsistencies are repaired lazily by subsequent writers.
+  BTreeT(pm::Pool* pool, TreeMeta* meta, const Options& opts = {});
+
+  TreeMeta* meta() const { return meta_; }
+  const Options& options() const { return opts_; }
+
+  /// Upsert. `value` must not be kNoValue.
+  void Insert(Key key, Value value);
+
+  /// Removes `key`; returns false if absent.
+  bool Remove(Key key);
+
+  /// Point lookup; kNoValue if absent. Non-blocking in kLockFree mode.
+  Value Search(Key key) const;
+
+  /// Collects up to `max_results` records with key >= min_key in ascending
+  /// order. Returns the number written.
+  std::size_t Scan(Key min_key, std::size_t max_results, Record* out) const;
+
+  /// Collects records with min_key <= key <= max_key (up to `cap`).
+  std::size_t ScanRange(Key min_key, Key max_key, Record* out,
+                        std::size_t cap) const;
+
+  /// Tree height in levels (1 = a single leaf).
+  int Height() const;
+
+  /// Structural statistics (quiescent-state helper).
+  struct TreeStats {
+    int height = 0;
+    std::size_t entries = 0;
+    std::vector<std::size_t> nodes_per_level;  // [0] = leaves
+    std::size_t dead_leaves = 0;  // emptied + unlinked, awaiting GC
+    double leaf_fill = 0.0;       // live entries / leaf capacity
+  };
+  TreeStats GetTreeStats() const;
+
+  /// Total live entries (quiescent-state helper for tests/examples).
+  std::size_t CountEntries() const;
+
+  /// Structural validation for tests: sortedness, fences, level links,
+  /// global leaf-chain order. Quiescent trees only. Returns true if OK.
+  bool CheckInvariants(std::string* msg = nullptr) const;
+
+ private:
+  static NodeT* AsNode(std::uint64_t p) { return reinterpret_cast<NodeT*>(p); }
+  static const NodeT* Resolve(std::uint64_t p) {
+    return reinterpret_cast<const NodeT*>(p);
+  }
+
+  NodeT* Root() const {
+    return AsNode(std::atomic_ref<std::uint64_t>(meta_->root)
+                      .load(std::memory_order_acquire));
+  }
+  bool CasRoot(NodeT* expected, NodeT* desired);
+
+  NodeT* AllocNode(std::uint16_t level);
+
+  /// Lock-free descent to the leaf whose range covers `key`.
+  NodeT* FindLeaf(Key key) const;
+
+  /// Locks `n`, hopping right while the key belongs to a sibling. On a hop
+  /// triggered at leaf level, lazily completes a possibly-crashed split by
+  /// ensuring the parent knows the sibling (paper §4.2). Returns nullptr if
+  /// the locked node turned out to be dead (emptied + unlinked); the dead
+  /// node's parent separator has then been repaired and the caller must
+  /// retry from the root.
+  NodeT* LockCovering(NodeT* n, Key key);
+
+  /// Lazy merge (paper §4.2): if `n`'s right sibling is an empty leaf,
+  /// marks it dead and unlinks it from the chain. Caller holds `n`'s lock.
+  void TryUnlinkEmptySibling(NodeT* n);
+
+  /// Removes the parent separator routing to `dead` (found via `hint_key`,
+  /// the key whose traversal hit the dead node). Idempotent.
+  void RemoveChildFromParent(const NodeT* dead, std::uint16_t parent_level,
+                             Key hint_key);
+
+  /// Splits locked `node` and inserts (key, down) into the proper half;
+  /// releases locks and updates the parent (Alg 2).
+  void SplitAndInsert(NodeT* node, Key key, std::uint64_t down);
+
+  /// Inserts separator (sep -> right) at `level`, growing the root if
+  /// needed. Idempotent: skips if `right` is already present.
+  void InsertInternal(Key sep, NodeT* right, std::uint16_t level);
+
+  /// Best-effort lazy split completion: make sure `right`'s fence is in the
+  /// parent level. No-op if already there.
+  void AdoptSibling(NodeT* right, std::uint16_t parent_level);
+
+  /// Undo-log used by RebalanceMode::kLogging (FAST+Logging baseline).
+  void LogNodeImage(const NodeT* node);
+  void ClearLog();
+
+  /// Recovery helpers (attach constructor).
+  void ReinitVolatileState();
+  void AdoptRootChain();
+
+  pm::Pool* pool_;
+  TreeMeta* meta_;
+  Options opts_;
+  // kLogging mode: persistent undo area (image + active flag), allocated at
+  // construction so split-time allocation isn't part of the logging cost.
+  struct SplitLog {
+    std::uint64_t active;  // node address being split, 0 = idle
+    std::uint8_t image[PageSize];
+  };
+  SplitLog* split_log_ = nullptr;
+};
+
+using BTree = BTreeT<512>;
+
+extern template class BTreeT<256>;
+extern template class BTreeT<512>;
+extern template class BTreeT<1024>;
+extern template class BTreeT<2048>;
+extern template class BTreeT<4096>;
+
+}  // namespace fastfair::core
+
+#include "core/btree_impl.h"

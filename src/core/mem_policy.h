@@ -1,0 +1,42 @@
+// Memory access policies for the FAST/FAIR node algorithms.
+//
+// Every 8-byte store the algorithms issue goes through a policy object, so
+// the same template code runs in three worlds:
+//
+//  * `RealMem` (here)             — production: release/acquire atomics plus
+//                                   real cache-line flushes and fences.
+//  * `crashsim::SimMem`           — crash testing: logs stores/flushes/fences
+//                                   and enumerates crash states.
+//  * test-local image readers     — read-only policies over materialized
+//                                   crash images.
+//
+// The paper compiled without -O3 to keep the compiler from reordering its
+// plain stores; using std::atomic_ref makes the required ordering part of
+// the program instead (C++ Core Guidelines CP.100: don't roll your own
+// lock-free code out of plain loads/stores).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "pm/persist.h"
+
+namespace fastfair::core {
+
+struct RealMem {
+  static void Store64(void* addr, std::uint64_t value) {
+    std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(addr))
+        .store(value, std::memory_order_release);
+  }
+  static std::uint64_t Load64(const void* addr) {
+    return std::atomic_ref<const std::uint64_t>(
+               *static_cast<const std::uint64_t*>(addr))
+        .load(std::memory_order_acquire);
+  }
+  static void Flush(const void* addr) { pm::Clflush(addr); }
+  static void Fence() { pm::Sfence(); }
+  static void FenceIfNotTso() { pm::FenceIfNotTso(); }
+};
+
+}  // namespace fastfair::core

@@ -1,0 +1,148 @@
+// Persistent B+-tree node layout.
+//
+// A node is one PM allocation of `PageSize` bytes: a 64-byte header followed
+// by an array of 16-byte {key, ptr} records.  `PageSize` is a compile-time
+// parameter because the Fig 3 experiment sweeps 256 B – 4 KB nodes; 512 B is
+// the paper's default.
+//
+// Layout invariants (see core/node_ops.h for how operations preserve them
+// through transient inconsistency):
+//
+//  * records[0..n) hold sorted keys with non-zero ptrs; records[n].ptr == 0
+//    terminates the array (the paper scans `records[i].ptr != NULL`).
+//  * A record's key is *valid* iff its ptr differs from its left neighbour's
+//    ptr (the duplicate-pointer rule).  records[0] additionally uses
+//    hdr.leftmost as its left neighbour in internal nodes; in leaves a zero
+//    ptr at slot 0 with a non-zero ptr at slot 1 is a transient *hole* that
+//    readers skip (slot-0 inserts/deletes cannot duplicate a left neighbour
+//    that does not exist).
+//  * Internal node semantics: child(key) = hdr.leftmost if key <
+//    records[0].key, else records[i].ptr for the greatest i with
+//    records[i].key <= key.  Nodes created by FAIR splits carry no leftmost
+//    child; their records[0].key equals the separator that routes to them,
+//    so the leftmost branch is unreachable there.
+//  * hdr.sibling links nodes left-to-right within a level (B-link), and
+//    sibling->records[0].key acts as the high fence: queries move right when
+//    key >= that fence.
+//
+// All fields written by concurrent/persistent code paths are plain 64-bit
+// (or 32-bit) words accessed via std::atomic_ref through a memory policy
+// (core/mem_policy.h), never via C++ objects with invariants: after a crash
+// the bytes are all that is left.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+
+#include "common/defs.h"
+
+namespace fastfair::core {
+
+/// Writer-exclusive / reader-shared spinlock, 4 bytes, trivially
+/// reinitializable after a crash (lock state is volatile by design: recovery
+/// starts with no threads inside the tree).
+class RwSpinLock {
+ public:
+  void lock() {
+    std::uint32_t expected = 0;
+    int spins = 0;
+    while (!state_.compare_exchange_weak(expected, kWriter,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      expected = 0;
+      Backoff(&spins);
+    }
+  }
+  void unlock() { state_.store(0, std::memory_order_release); }
+
+  void lock_shared() {
+    int spins = 0;
+    for (;;) {
+      std::uint32_t cur = state_.load(std::memory_order_relaxed);
+      if (cur < kWriter &&
+          state_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      Backoff(&spins);
+    }
+  }
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  /// Recovery: lock words are volatile state; after a crash no thread is
+  /// inside the tree, so attach simply clears them.
+  void Reset() { state_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::uint32_t kWriter = 0x8000'0000u;
+  static void Backoff(int* spins) {
+    if (++*spins < 64) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    } else {
+      // Single-core friendliness: let the lock holder run.
+      std::this_thread::yield();
+      *spins = 0;
+    }
+  }
+  std::atomic<std::uint32_t> state_{0};
+};
+static_assert(sizeof(RwSpinLock) == 4);
+
+struct Record {
+  std::uint64_t key;
+  std::uint64_t ptr;
+};
+static_assert(sizeof(Record) == 16);
+
+/// NodeHeader::flags bit: the node was emptied and unlinked from the leaf
+/// chain (paper §4.2 lazy merge). Persistent: a dead node stays dead.
+inline constexpr std::uint16_t kNodeDead = 1;
+
+struct NodeHeader {
+  std::uint64_t leftmost;        // child for key < records[0].key (internal)
+  std::uint64_t sibling;         // right sibling (Node*), 0 if none
+  std::uint32_t switch_counter;  // even: insert phase, odd: delete phase
+  std::uint16_t level;           // 0 = leaf
+  std::uint16_t flags;           // kNodeDead
+  RwSpinLock lock;               // volatile; reinitialized on recovery
+  std::uint8_t pad[kCacheLineSize - 28];
+};
+static_assert(sizeof(NodeHeader) == kCacheLineSize);
+
+template <std::size_t PageSize>
+struct Node {
+  static_assert(PageSize >= 128 && PageSize % kCacheLineSize == 0);
+
+  /// Usable record slots; one extra slot is reserved as the terminator /
+  /// shift spill slot (a FAST right-shift of a node holding kCapacity-1
+  /// entries writes the new terminator into records[kCapacity]).
+  static constexpr int kCapacity =
+      static_cast<int>((PageSize - sizeof(NodeHeader)) / sizeof(Record)) - 1;
+  static_assert(kCapacity >= 3);
+
+  NodeHeader hdr;
+  Record records[kCapacity + 1];
+
+  /// Placement-initializes a zeroed node. Callers persist it before linking.
+  /// Byte-level clearing is intentional: after a crash the raw bytes are all
+  /// the state there is, so the layout is treated as bytes throughout.
+  void Init(std::uint16_t level) {
+    std::memset(static_cast<void*>(this), 0, PageSize);
+    hdr.level = level;
+  }
+
+  bool is_leaf() const { return hdr.level == 0; }
+};
+
+// A 512-byte node (the paper's default) must hold >= 24 entries to keep the
+// fan-out / height trade-off the evaluation relies on.
+static_assert(Node<512>::kCapacity == 27);
+static_assert(sizeof(Node<512>) <= 512);
+
+}  // namespace fastfair::core

@@ -1,0 +1,242 @@
+#include "crashsim/simmem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace fastfair::crashsim {
+
+void SimMem::Adopt(const void* base, std::size_t len) {
+  auto a = reinterpret_cast<std::uintptr_t>(base);
+  if (a % 8 != 0 || len % 8 != 0) {
+    throw std::invalid_argument("SimMem::Adopt requires 8-byte alignment");
+  }
+  const auto* words = static_cast<const std::uint64_t*>(base);
+  for (std::size_t i = 0; i < len / 8; ++i) {
+    initial_[a + i * 8] = words[i];
+    cache_[a + i * 8] = words[i];
+  }
+}
+
+void SimMem::Store64(void* addr, std::uint64_t value) {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  assert(a % 8 == 0);
+  if (initial_.find(a) == initial_.end()) {
+    throw std::out_of_range("SimMem: store outside adopted ranges");
+  }
+  cache_[a] = value;
+  events_.push_back({Event::Kind::kStore, a, value});
+}
+
+std::uint64_t SimMem::Load64(const void* addr) const {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = cache_.find(a);
+  if (it == cache_.end()) {
+    throw std::out_of_range("SimMem: load outside adopted ranges");
+  }
+  return it->second;
+}
+
+void SimMem::Flush(const void* addr) {
+  events_.push_back(
+      {Event::Kind::kFlush, reinterpret_cast<std::uintptr_t>(addr), 0});
+}
+
+void SimMem::Fence() { events_.push_back({Event::Kind::kFence, 0, 0}); }
+
+std::size_t SimMem::store_count() const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += e.kind == Event::Kind::kStore;
+  return n;
+}
+
+std::uint64_t SimMem::Image::Read64(const void* addr) const {
+  auto it = words.find(reinterpret_cast<std::uintptr_t>(addr));
+  if (it == words.end()) {
+    throw std::out_of_range("SimMem::Image: read outside adopted ranges");
+  }
+  return it->second;
+}
+
+SimMem::Image SimMem::FinalImage() const {
+  Image img;
+  img.words = initial_;
+  for (const auto& e : events_) {
+    if (e.kind == Event::Kind::kStore) img.words[e.addr] = e.value;
+  }
+  return img;
+}
+
+namespace {
+
+struct LineState {
+  std::uintptr_t line;
+  std::vector<std::uint32_t> store_events;  // event indices of stores, in order
+};
+
+}  // namespace
+
+bool SimMem::EnumerateCrashStates(const std::function<void(const Image&)>& fn,
+                                  std::size_t max_states) const {
+  // Group store events by cache line, preserving program order.
+  std::vector<LineState> lines;
+  std::unordered_map<std::uintptr_t, std::size_t> line_index;
+  for (std::uint32_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.kind != Event::Kind::kStore) continue;
+    const std::uintptr_t ln = LineOf(e.addr);
+    auto [it, inserted] = line_index.try_emplace(ln, lines.size());
+    if (inserted) lines.push_back({ln, {}});
+    lines[it->second].store_events.push_back(i);
+  }
+  const std::size_t L = lines.size();
+
+  // durable_floor[i][l]: number of stores to line l guaranteed durable when
+  // the crash happens after the first i events (flush followed by a fence,
+  // both already executed).
+  const std::size_t N = events_.size();
+  std::vector<std::uint32_t> floor_now(L, 0);     // current fenced floor
+  std::vector<std::uint32_t> pending_flush(L, 0); // flushed-but-unfenced count
+  std::vector<bool> has_pending(L, false);
+
+  // upto[l] at crash point i: stores to l among first i events.
+  std::vector<std::uint32_t> upto(L, 0);
+
+  std::set<std::vector<std::uint32_t>> visited;
+  std::size_t emitted = 0;
+
+  auto materialize = [&](const std::vector<std::uint32_t>& cuts) {
+    Image img;
+    img.words = initial_;
+    for (std::size_t l = 0; l < L; ++l) {
+      for (std::uint32_t k = 0; k < cuts[l]; ++k) {
+        const Event& e = events_[lines[l].store_events[k]];
+        img.words[e.addr] = e.value;
+      }
+    }
+    fn(img);
+  };
+
+  // Enumerate per-line cut vectors in [floor, upto] for the current crash
+  // point, deduplicating across crash points.
+  std::vector<std::uint32_t> cuts(L, 0);
+  std::function<bool(std::size_t)> rec = [&](std::size_t l) -> bool {
+    if (l == L) {
+      if (visited.insert(cuts).second) {
+        if (++emitted > max_states) return false;
+        materialize(cuts);
+      }
+      return true;
+    }
+    for (std::uint32_t c = floor_now[l]; c <= upto[l]; ++c) {
+      cuts[l] = c;
+      if (!rec(l + 1)) return false;
+    }
+    return true;
+  };
+
+  // Crash before anything (i=0) and after each event.
+  if (!rec(0)) return false;
+  for (std::size_t i = 0; i < N; ++i) {
+    const Event& e = events_[i];
+    switch (e.kind) {
+      case Event::Kind::kStore: {
+        const std::size_t l = line_index.at(LineOf(e.addr));
+        upto[l] += 1;
+        break;
+      }
+      case Event::Kind::kFlush: {
+        auto it = line_index.find(LineOf(e.addr));
+        if (it != line_index.end()) {
+          // Content as of this flush = all stores to the line so far.
+          pending_flush[it->second] = upto[it->second];
+          has_pending[it->second] = true;
+        }
+        break;
+      }
+      case Event::Kind::kFence: {
+        for (std::size_t l = 0; l < L; ++l) {
+          if (has_pending[l]) {
+            floor_now[l] = std::max(floor_now[l], pending_flush[l]);
+            has_pending[l] = false;
+          }
+        }
+        break;
+      }
+    }
+    if (!rec(0)) return false;
+  }
+  return true;
+}
+
+void SimMem::SampleCrashStates(
+    std::size_t samples, std::uint64_t seed,
+    const std::function<void(const Image&)>& fn) const {
+  std::vector<LineState> lines;
+  std::unordered_map<std::uintptr_t, std::size_t> line_index;
+  for (std::uint32_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.kind != Event::Kind::kStore) continue;
+    const std::uintptr_t ln = LineOf(e.addr);
+    auto [it, inserted] = line_index.try_emplace(ln, lines.size());
+    if (inserted) lines.push_back({ln, {}});
+    lines[it->second].store_events.push_back(i);
+  }
+  const std::size_t L = lines.size();
+  const std::size_t N = events_.size();
+
+  // Precompute floor/upto at every crash point (prefix scan as above).
+  std::vector<std::vector<std::uint32_t>> floors(N + 1,
+                                                 std::vector<std::uint32_t>(L));
+  std::vector<std::vector<std::uint32_t>> uptos(N + 1,
+                                                std::vector<std::uint32_t>(L));
+  {
+    std::vector<std::uint32_t> floor_now(L, 0), pending(L, 0), upto(L, 0);
+    std::vector<bool> has_pending(L, false);
+    floors[0] = floor_now;
+    uptos[0] = upto;
+    for (std::size_t i = 0; i < N; ++i) {
+      const Event& e = events_[i];
+      if (e.kind == Event::Kind::kStore) {
+        upto[line_index.at(LineOf(e.addr))] += 1;
+      } else if (e.kind == Event::Kind::kFlush) {
+        auto it = line_index.find(LineOf(e.addr));
+        if (it != line_index.end()) {
+          pending[it->second] = upto[it->second];
+          has_pending[it->second] = true;
+        }
+      } else {
+        for (std::size_t l = 0; l < L; ++l) {
+          if (has_pending[l]) {
+            floor_now[l] = std::max(floor_now[l], pending[l]);
+            has_pending[l] = false;
+          }
+        }
+      }
+      floors[i + 1] = floor_now;
+      uptos[i + 1] = upto;
+    }
+  }
+
+  Rng rng(seed);
+  std::vector<std::uint32_t> cuts(L);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t i = rng.NextBounded(N + 1);
+    for (std::size_t l = 0; l < L; ++l) {
+      const std::uint32_t lo = floors[i][l], hi = uptos[i][l];
+      cuts[l] = lo + static_cast<std::uint32_t>(rng.NextBounded(hi - lo + 1));
+    }
+    Image img;
+    img.words = initial_;
+    for (std::size_t l = 0; l < L; ++l) {
+      for (std::uint32_t k = 0; k < cuts[l]; ++k) {
+        const Event& e = events_[lines[l].store_events[k]];
+        img.words[e.addr] = e.value;
+      }
+    }
+    fn(img);
+  }
+}
+
+}  // namespace fastfair::crashsim

@@ -1,0 +1,110 @@
+#include "index/index.h"
+
+#include <stdexcept>
+
+#include "baselines/blink/blink.h"
+#include "baselines/fptree/fptree.h"
+#include "baselines/skiplist/skiplist.h"
+#include "baselines/wbtree/wbtree.h"
+#include "baselines/wort/wort.h"
+#include "core/btree.h"
+
+namespace fastfair {
+namespace {
+
+template <class T>
+class Wrap final : public Index {
+ public:
+  template <typename... Args>
+  Wrap(std::string name, bool concurrent, Args&&... args)
+      : impl_(std::forward<Args>(args)...),
+        name_(std::move(name)),
+        concurrent_(concurrent) {}
+
+  void Insert(Key key, Value value) override { impl_.Insert(key, value); }
+  bool Remove(Key key) override { return impl_.Remove(key); }
+  Value Search(Key key) const override { return impl_.Search(key); }
+  std::size_t Scan(Key min_key, std::size_t max_results,
+                   core::Record* out) const override {
+    return impl_.Scan(min_key, max_results, out);
+  }
+  std::string_view name() const override { return name_; }
+  bool supports_concurrency() const override { return concurrent_; }
+
+ private:
+  T impl_;
+  std::string name_;
+  bool concurrent_;
+};
+
+core::Options FFOpts(core::ConcurrencyMode cc, core::RebalanceMode rb,
+                     core::SearchMode sm) {
+  core::Options o;
+  o.concurrency = cc;
+  o.rebalance = rb;
+  o.search = sm;
+  return o;
+}
+
+}  // namespace
+
+std::unique_ptr<Index> MakeIndex(std::string_view kind, pm::Pool* pool) {
+  using core::ConcurrencyMode;
+  using core::RebalanceMode;
+  using core::SearchMode;
+  if (kind == "fastfair") {
+    return std::make_unique<Wrap<core::BTree>>(
+        "fastfair", true, pool,
+        FFOpts(ConcurrencyMode::kLockFree, RebalanceMode::kFair,
+               SearchMode::kLinear));
+  }
+  if (kind == "fastfair-leaflock") {
+    return std::make_unique<Wrap<core::BTree>>(
+        "fastfair-leaflock", true, pool,
+        FFOpts(ConcurrencyMode::kLeafLock, RebalanceMode::kFair,
+               SearchMode::kLinear));
+  }
+  if (kind == "fastfair-logging") {
+    return std::make_unique<Wrap<core::BTree>>(
+        "fastfair-logging", true, pool,
+        FFOpts(ConcurrencyMode::kLockFree, RebalanceMode::kLogging,
+               SearchMode::kLinear));
+  }
+  if (kind == "fastfair-binary") {
+    return std::make_unique<Wrap<core::BTree>>(
+        "fastfair-binary", false, pool,
+        FFOpts(ConcurrencyMode::kLockFree, RebalanceMode::kFair,
+               SearchMode::kBinary));
+  }
+  if (kind == "fastfair-1k") {  // Fig 4 uses 1 KB FAST+FAIR nodes
+    return std::make_unique<Wrap<core::BTreeT<1024>>>(
+        "fastfair-1k", true, pool,
+        FFOpts(ConcurrencyMode::kLockFree, RebalanceMode::kFair,
+               SearchMode::kLinear));
+  }
+  if (kind == "wbtree") {
+    return std::make_unique<Wrap<baselines::WBTree>>("wbtree", false, pool);
+  }
+  if (kind == "fptree") {
+    return std::make_unique<Wrap<baselines::FPTree>>("fptree", true, pool);
+  }
+  if (kind == "wort") {
+    return std::make_unique<Wrap<baselines::Wort>>("wort", false, pool);
+  }
+  if (kind == "skiplist") {
+    return std::make_unique<Wrap<baselines::SkipList>>("skiplist", true,
+                                                       pool);
+  }
+  if (kind == "blink") {
+    return std::make_unique<Wrap<baselines::BLink>>("blink", true);
+  }
+  throw std::invalid_argument("unknown index kind: " + std::string(kind));
+}
+
+std::vector<std::string> AllIndexKinds() {
+  return {"fastfair", "fastfair-leaflock", "fastfair-logging",
+          "fastfair-binary", "fastfair-1k", "wbtree", "fptree", "wort",
+          "skiplist", "blink"};
+}
+
+}  // namespace fastfair

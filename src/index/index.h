@@ -1,0 +1,60 @@
+// Uniform index interface: every structure the paper evaluates implements
+// it, so benchmarks, TPC-C, and comparative tests treat them identically.
+//
+// Implementations:
+//   fastfair            FAST+FAIR B+-tree, lock-free search  (src/core)
+//   fastfair-leaflock   FAST+FAIR + shared leaf latches (serializable reads)
+//   fastfair-logging    FAST + undo-logged splits (Fig 5 "FAST+Logging")
+//   fastfair-binary     FAST+FAIR with in-node binary search (Fig 3)
+//   wbtree              wB+-tree, slot-array + bitmap nodes          [14]
+//   fptree              FP-tree, PM leaves + volatile inner nodes    [17]
+//   wort                WORT write-optimal radix tree                [32]
+//   skiplist            persistent skip list                         [33]
+//   blink               volatile B-link tree (concurrency reference) [29]
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/defs.h"
+#include "core/node.h"  // core::Record
+#include "pm/pool.h"
+
+namespace fastfair {
+
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Upsert. `value` must not be kNoValue.
+  virtual void Insert(Key key, Value value) = 0;
+
+  /// Returns false if the key was absent.
+  virtual bool Remove(Key key) = 0;
+
+  /// kNoValue if absent.
+  virtual Value Search(Key key) const = 0;
+
+  /// Up to `max_results` entries with key >= min_key, ascending. Returns
+  /// the count written to `out`.
+  virtual std::size_t Scan(Key min_key, std::size_t max_results,
+                           core::Record* out) const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// True when concurrent callers are supported (Fig 7 set).
+  virtual bool supports_concurrency() const { return false; }
+};
+
+/// Factory over the registry above; throws std::invalid_argument for an
+/// unknown kind. Node sizes follow each paper's best setting (wB+-tree and
+/// FP-tree leaves 1 KB; FAST+FAIR 512 B) unless the caller overrides.
+std::unique_ptr<Index> MakeIndex(std::string_view kind, pm::Pool* pool);
+
+/// All registry kinds, in the order the paper's figures list them.
+std::vector<std::string> AllIndexKinds();
+
+}  // namespace fastfair

@@ -1,0 +1,159 @@
+#include "pm/pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "pm/persist.h"
+
+namespace fastfair::pm {
+
+namespace {
+constexpr std::uint64_t kMagic = 0xfa57fa1242ull;  // "fastfair" pool
+}  // namespace
+
+// The header occupies the first cache line(s) of the mapping so that the bump
+// offset and root pointer persist with the data they describe.
+struct Pool::Header {
+  std::uint64_t magic;
+  std::uint64_t capacity;
+  std::atomic<std::uint64_t> used;   // bump offset (includes header)
+  std::atomic<std::uint64_t> root;   // application root pointer
+  std::atomic<std::uint64_t> freed;  // bytes logically freed (stats only)
+
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+};
+
+Pool::Pool(const Options& opts)
+    : capacity_(opts.capacity), persist_meta_(opts.persist_metadata) {
+  if (capacity_ < 2 * kCacheLineSize) {
+    throw std::invalid_argument("pool capacity too small");
+  }
+  if (opts.file_path.empty()) {
+    base_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (base_ == MAP_FAILED) {
+      throw std::system_error(errno, std::generic_category(), "mmap");
+    }
+  } else {
+    file_backed_ = true;
+    fd_ = ::open(opts.file_path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+      throw std::system_error(errno, std::generic_category(), "open");
+    }
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) {
+      ::close(fd_);
+      throw std::system_error(errno, std::generic_category(), "fstat");
+    }
+    const bool existing = st.st_size >= static_cast<off_t>(sizeof(Header));
+    if (static_cast<std::size_t>(st.st_size) < capacity_ &&
+        ::ftruncate(fd_, static_cast<off_t>(capacity_)) != 0) {
+      ::close(fd_);
+      throw std::system_error(errno, std::generic_category(), "ftruncate");
+    }
+    // Stored pointers require a stable mapping address across restarts.
+    base_ = ::mmap(reinterpret_cast<void*>(opts.fixed_base), capacity_,
+                   PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED_NOREPLACE,
+                   fd_, 0);
+    if (base_ == MAP_FAILED) {
+      ::close(fd_);
+      throw std::system_error(errno, std::generic_category(),
+                              "mmap(fixed base)");
+    }
+    if (existing && header()->magic == kMagic) {
+      reopened_ = true;
+      if (header()->capacity != capacity_) {
+        ::munmap(base_, capacity_);
+        ::close(fd_);
+        throw std::runtime_error("pool file capacity mismatch");
+      }
+      return;  // recovered: keep used/root as persisted
+    }
+  }
+  auto* h = header();
+  h->magic = kMagic;
+  h->capacity = capacity_;
+  h->used.store(AlignUp(sizeof(Header), kCacheLineSize),
+                std::memory_order_relaxed);
+  h->root.store(0, std::memory_order_relaxed);
+  h->freed.store(0, std::memory_order_relaxed);
+  Persist(h, sizeof(Header));
+}
+
+Pool::~Pool() {
+  if (base_ != nullptr && base_ != MAP_FAILED) {
+    if (file_backed_) ::msync(base_, capacity_, MS_SYNC);
+    ::munmap(base_, capacity_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Pool::Header* Pool::header() const { return static_cast<Header*>(base_); }
+
+Pool& Pool::Global() {
+  static Pool pool(Options{});
+  return pool;
+}
+
+void* Pool::Alloc(std::size_t size, std::size_t align) {
+  if (align < 8) align = 8;
+  auto* h = header();
+  std::uint64_t cur = h->used.load(std::memory_order_relaxed);
+  std::uint64_t start, next;
+  do {
+    start = AlignUp(cur, align);
+    next = start + size;
+    if (next > capacity_) throw std::bad_alloc();
+  } while (!h->used.compare_exchange_weak(cur, next,
+                                          std::memory_order_relaxed));
+  if (persist_meta_) {
+    // Persist the bump offset: after a crash the allocator resumes past
+    // every allocation that any persisted pointer may reference.
+    Clflush(&h->used);
+  }
+  Stats().allocs += 1;
+  return static_cast<char*>(base_) + start;
+}
+
+void Pool::Free(void* p, std::size_t size) noexcept {
+  if (p == nullptr) return;
+  header()->freed.fetch_add(size, std::memory_order_relaxed);
+}
+
+void Pool::SetRoot(const void* p) {
+  auto* h = header();
+  h->root.store(reinterpret_cast<std::uint64_t>(p),
+                std::memory_order_release);
+  Persist(&h->root, sizeof(h->root));
+}
+
+void* Pool::GetRoot() const {
+  return reinterpret_cast<void*>(
+      header()->root.load(std::memory_order_acquire));
+}
+
+std::size_t Pool::used() const {
+  return header()->used.load(std::memory_order_relaxed);
+}
+
+std::size_t Pool::freed_bytes() const {
+  return header()->freed.load(std::memory_order_relaxed);
+}
+
+void Pool::Reset() {
+  auto* h = header();
+  h->used.store(AlignUp(sizeof(Header), kCacheLineSize),
+                std::memory_order_relaxed);
+  h->root.store(0, std::memory_order_relaxed);
+  h->freed.store(0, std::memory_order_relaxed);
+  Persist(h, sizeof(Header));
+}
+
+}  // namespace fastfair::pm

@@ -1,0 +1,113 @@
+// Persistent memory pool: the `nv_malloc` substrate from the paper.
+//
+// A Pool is a contiguous mapped region carved out by a thread-safe bump
+// allocator.  Two flavours:
+//
+//  * Anonymous (DRAM-as-PM): what the paper's Quartz setup does; used by all
+//    benchmarks and most tests.
+//  * File-backed at a fixed virtual address: a real persistence demo.  Because
+//    tree nodes hold raw pointers, a reopened pool must map at the same
+//    address; we reserve a fixed base (configurable) with MAP_FIXED_NOREPLACE
+//    so the pool header's stored root pointer stays valid across process
+//    restarts (see examples/kvstore.cc).
+//
+// Allocation metadata (the bump offset) lives in the pool header and is
+// persisted on every allocation; a crash can leak at most the allocation in
+// flight, which matches the paper's recovery story (leaked nodes are garbage
+// that no tree pointer references).  Free() is a statistics-only no-op: the
+// paper's trees never free nodes except logically (lazy merge), and a real PM
+// allocator (e.g. a per-size-class free list) is orthogonal to the algorithms
+// under study.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "common/defs.h"
+
+namespace fastfair::pm {
+
+class Pool {
+ public:
+  struct Options {
+    std::size_t capacity = std::size_t{1} << 32;  // 4 GiB virtual reservation
+    std::string file_path;      // empty => anonymous (DRAM-as-PM)
+    std::uintptr_t fixed_base = 0x5100'0000'0000ull;  // file-backed mapping base
+    // Persist the bump offset on every allocation. Off by default: the
+    // paper's evaluation (like its reference implementation) uses a
+    // volatile allocator, and charging every index a flush per allocation
+    // would skew the comparative flush counts the figures measure. Real
+    // deployments that need allocator recovery (examples/kvstore) turn it
+    // on; without it, a crash requires a GC pass to reclaim leaked blocks
+    // (reachability is still guaranteed by each structure's commit order).
+    bool persist_metadata = false;
+  };
+
+  explicit Pool(const Options& opts);
+  explicit Pool(std::size_t capacity)
+      : Pool(Options{.capacity = capacity, .file_path = {}}) {}
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Process-wide default pool (anonymous, lazily created).
+  static Pool& Global();
+
+  /// Allocates `size` bytes aligned to `align` (power of two, >= 8).
+  /// Throws std::bad_alloc when the pool is exhausted.
+  void* Alloc(std::size_t size, std::size_t align = kCacheLineSize);
+
+  /// Statistics-only free (arena allocator; see file comment).
+  void Free(void* p, std::size_t size) noexcept;
+
+  /// Constructs a T in pool memory. The object is never destroyed by the
+  /// pool; persistent structures are POD-like by design.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* p = Alloc(sizeof(T), alignof(T) < 8 ? 8 : alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// 8-byte root pointer slot in the pool header: set atomically + persisted.
+  /// This is how an application finds its tree after restart.
+  void SetRoot(const void* p);
+  void* GetRoot() const;
+
+  /// True if an existing file was reopened (header magic matched), i.e. the
+  /// caller should recover via GetRoot() instead of building afresh.
+  bool reopened() const { return reopened_; }
+
+  std::size_t used() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t freed_bytes() const;
+
+  /// Returns true if `p` points inside this pool's mapping.
+  bool Contains(const void* p) const {
+    auto a = reinterpret_cast<std::uintptr_t>(p);
+    auto b = reinterpret_cast<std::uintptr_t>(base_);
+    return a >= b && a < b + capacity_;
+  }
+
+  /// Resets the bump pointer, discarding all allocations. Test helper; not
+  /// crash-consistent and must not race with allocation.
+  void Reset();
+
+ private:
+  struct Header;  // lives at offset 0 of the mapping
+
+  Header* header() const;
+
+  void* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  bool file_backed_ = false;
+  bool reopened_ = false;
+  bool persist_meta_ = false;
+  int fd_ = -1;
+};
+
+}  // namespace fastfair::pm

@@ -1,0 +1,86 @@
+#include "tpcc/db.h"
+
+#include "common/rng.h"
+
+namespace fastfair::tpcc {
+
+Db::Db(std::string_view kind, const Config& cfg, pm::Pool* pool)
+    : cfg_(cfg), pool_(pool) {
+  warehouse_ = MakeIndex(kind, pool);
+  district_ = MakeIndex(kind, pool);
+  customer_ = MakeIndex(kind, pool);
+  item_ = MakeIndex(kind, pool);
+  stock_ = MakeIndex(kind, pool);
+  order_ = MakeIndex(kind, pool);
+  neworder_ = MakeIndex(kind, pool);
+  orderline_ = MakeIndex(kind, pool);
+  customer_order_ = MakeIndex(kind, pool);
+  Populate();
+}
+
+void Db::Populate() {
+  Rng rng(0xc0ffee);
+  for (std::uint32_t i = 0; i < cfg_.items; ++i) {
+    item_->Insert(ItemKey(i),
+                  reinterpret_cast<Value>(NewRow<ItemRow>(
+                      {1.0 + static_cast<double>(rng.NextBounded(9900)) /
+                                 100.0})));
+  }
+  for (std::uint32_t w = 0; w < cfg_.warehouses; ++w) {
+    warehouse_->Insert(
+        WarehouseKey(w),
+        reinterpret_cast<Value>(NewRow<WarehouseRow>(
+            {static_cast<double>(rng.NextBounded(2000)) / 10000.0, 0.0})));
+    for (std::uint32_t i = 0; i < cfg_.items; ++i) {
+      stock_->Insert(StockKey(w, i),
+                     reinterpret_cast<Value>(NewRow<StockRow>(
+                         {static_cast<std::int32_t>(
+                              10 + rng.NextBounded(91)),
+                          0, 0, 0})));
+    }
+    for (std::uint32_t d = 0; d < cfg_.districts_per_wh; ++d) {
+      auto* drow = NewRow<DistrictRow>(
+          {static_cast<double>(rng.NextBounded(2000)) / 10000.0, 0.0,
+           cfg_.initial_orders_per_district});
+      district_->Insert(DistrictKey(w, d), reinterpret_cast<Value>(drow));
+      for (std::uint32_t c = 0; c < cfg_.customers_per_district; ++c) {
+        customer_->Insert(CustomerKey(w, d, c),
+                          reinterpret_cast<Value>(NewRow<CustomerRow>(
+                              {-10.0, 10.0, 1, 0})));
+      }
+      // Initial order history: one order per o_id, each with 5-15 lines;
+      // the most recent ~30% still undelivered (rows in NEW-ORDER).
+      for (std::uint32_t o = 0; o < cfg_.initial_orders_per_district; ++o) {
+        const std::uint32_t c = static_cast<std::uint32_t>(
+            rng.NextBounded(cfg_.customers_per_district));
+        const std::uint32_t ol_cnt =
+            5 + static_cast<std::uint32_t>(rng.NextBounded(11));
+        const bool delivered =
+            o < cfg_.initial_orders_per_district * 7 / 10;
+        auto* orow = NewRow<OrderRow>(
+            {c, ol_cnt,
+             delivered ? 1 + static_cast<std::uint32_t>(rng.NextBounded(10))
+                       : 0,
+             o});
+        order_->Insert(OrderKey(w, d, o), reinterpret_cast<Value>(orow));
+        customer_order_->Insert(CustomerOrderKey(w, d, c, o),
+                                reinterpret_cast<Value>(orow));
+        if (!delivered) {
+          neworder_->Insert(NewOrderKey(w, d, o),
+                            reinterpret_cast<Value>(
+                                NewRow<NewOrderRow>({w, d})));
+        }
+        for (std::uint32_t l = 0; l < ol_cnt; ++l) {
+          orderline_->Insert(
+              OrderLineKey(w, d, o, l),
+              reinterpret_cast<Value>(NewRow<OrderLineRow>(
+                  {static_cast<std::uint32_t>(rng.NextBounded(cfg_.items)),
+                   5, static_cast<double>(rng.NextBounded(9999)) / 100.0,
+                   delivered ? o + 1ull : 0ull})));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fastfair::tpcc

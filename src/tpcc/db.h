@@ -1,0 +1,74 @@
+// TPC-C database: one Index instance per table, all of the same kind, plus
+// the initial-population loader (TPC-C spec §4.3 sizes, scaled by config).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "index/index.h"
+#include "pm/persist.h"
+#include "pm/pool.h"
+#include "tpcc/schema.h"
+
+namespace fastfair::tpcc {
+
+struct Config {
+  std::uint32_t warehouses = 2;
+  std::uint32_t districts_per_wh = 10;
+  std::uint32_t customers_per_district = 300;  // spec: 3000; scaled for CI
+  std::uint32_t items = 10000;                 // spec: 100000
+  std::uint32_t initial_orders_per_district = 300;  // spec: 3000
+};
+
+class Db {
+ public:
+  /// Builds and populates a TPC-C database whose every table is indexed by
+  /// an index of `kind` (see MakeIndex).
+  Db(std::string_view kind, const Config& cfg, pm::Pool* pool);
+
+  const Config& config() const { return cfg_; }
+  pm::Pool* pool() const { return pool_; }
+
+  Index& warehouse() { return *warehouse_; }
+  Index& district() { return *district_; }
+  Index& customer() { return *customer_; }
+  Index& item() { return *item_; }
+  Index& stock() { return *stock_; }
+  Index& order() { return *order_; }
+  Index& neworder() { return *neworder_; }
+  Index& orderline() { return *orderline_; }
+  Index& customer_order() { return *customer_order_; }
+
+  /// Allocates + persists a row of type T in the pool; returns its address
+  /// as an index value.
+  template <typename T>
+  T* NewRow(const T& init) {
+    auto* r = static_cast<T*>(pool_->Alloc(sizeof(T), 8));
+    *r = init;
+    pm::Persist(r, sizeof(T));
+    return r;
+  }
+
+  template <typename T>
+  static T* Row(Value v) {
+    return reinterpret_cast<T*>(v);
+  }
+
+  /// Persists a mutated row.
+  template <typename T>
+  static void PersistRow(T* row) {
+    pm::Persist(row, sizeof(T));
+  }
+
+ private:
+  void Populate();
+
+  Config cfg_;
+  pm::Pool* pool_;
+  std::unique_ptr<Index> warehouse_, district_, customer_, item_, stock_,
+      order_, neworder_, orderline_, customer_order_;
+};
+
+}  // namespace fastfair::tpcc

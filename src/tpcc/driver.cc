@@ -1,0 +1,47 @@
+#include "tpcc/driver.h"
+
+#include "bench/stats.h"
+
+namespace fastfair::tpcc {
+
+const std::array<Mix, 4>& PaperMixes() {
+  static const std::array<Mix, 4> mixes = {{
+      {"W1", {34, 43, 5, 4, 14}},
+      {"W2", {27, 43, 15, 4, 11}},
+      {"W3", {20, 43, 25, 4, 8}},
+      {"W4", {13, 43, 35, 4, 5}},
+  }};
+  return mixes;
+}
+
+RunResult RunMix(Db& db, const Mix& mix, std::size_t num_txns,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  RunResult r;
+  bench::Timer timer;
+  for (std::size_t i = 0; i < num_txns; ++i) {
+    const auto roll = static_cast<int>(rng.NextBounded(100));
+    TxnType type;
+    int acc = mix.pct[0];
+    if (roll < acc) {
+      type = TxnType::kNewOrder;
+    } else if (roll < (acc += mix.pct[1])) {
+      type = TxnType::kPayment;
+    } else if (roll < (acc += mix.pct[2])) {
+      type = TxnType::kOrderStatus;
+    } else if (roll < (acc += mix.pct[3])) {
+      type = TxnType::kDelivery;
+    } else {
+      type = TxnType::kStockLevel;
+    }
+    if (RunTxn(db, rng, type)) {
+      ++r.committed;
+    } else {
+      ++r.aborted;
+    }
+  }
+  r.wall_ns = timer.ElapsedNs();
+  return r;
+}
+
+}  // namespace fastfair::tpcc

@@ -1,0 +1,37 @@
+// TPC-C workload driver: the W1-W4 mixes of Fig 6 and throughput runner.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "tpcc/txn.h"
+
+namespace fastfair::tpcc {
+
+struct Mix {
+  std::string name;
+  // Percentages: NewOrder, Payment, OrderStatus, Delivery, StockLevel.
+  std::array<int, 5> pct;
+};
+
+/// The four mixes from the Fig 6 caption; the share of read-heavy queries
+/// (Order-Status) grows W1 -> W4.
+const std::array<Mix, 4>& PaperMixes();
+
+struct RunResult {
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::uint64_t wall_ns = 0;
+  double Kops() const {
+    return static_cast<double>(committed) /
+           (static_cast<double>(wall_ns) / 1e9) / 1e3;
+  }
+};
+
+/// Runs `num_txns` transactions of `mix` against `db` (single thread).
+RunResult RunMix(Db& db, const Mix& mix, std::size_t num_txns,
+                 std::uint64_t seed);
+
+}  // namespace fastfair::tpcc

@@ -1,0 +1,247 @@
+#include "tpcc/txn.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fastfair::tpcc {
+
+namespace {
+// Scan buffer large enough for the widest TPC-C range (Stock-Level: 20
+// orders * up to 15 lines).
+constexpr std::size_t kScanBuf = 512;
+}  // namespace
+
+bool RunNewOrder(Db& db, Rng& rng) {
+  const auto& cfg = db.config();
+  const auto w = static_cast<std::uint32_t>(rng.NextBounded(cfg.warehouses));
+  const auto d =
+      static_cast<std::uint32_t>(rng.NextBounded(cfg.districts_per_wh));
+  const auto c = static_cast<std::uint32_t>(
+      rng.NextBounded(cfg.customers_per_district));
+
+  auto* wrow = Db::Row<WarehouseRow>(db.warehouse().Search(WarehouseKey(w)));
+  auto* drow = Db::Row<DistrictRow>(db.district().Search(DistrictKey(w, d)));
+  auto* crow = Db::Row<CustomerRow>(db.customer().Search(CustomerKey(w, d, c)));
+  if (wrow == nullptr || drow == nullptr || crow == nullptr) return false;
+
+  const std::uint32_t o_id = drow->d_next_o_id;
+  drow->d_next_o_id = o_id + 1;
+  Db::PersistRow(drow);
+
+  const std::uint32_t ol_cnt =
+      5 + static_cast<std::uint32_t>(rng.NextBounded(11));
+  // ~1% of New-Orders roll back on an unused item id (spec §2.4.1.4); the
+  // district sequence was already consumed, as the spec requires.
+  const bool rollback = rng.NextBounded(100) == 0;
+
+  double total = 0.0;
+  for (std::uint32_t l = 0; l < ol_cnt; ++l) {
+    std::uint32_t i_id;
+    if (rollback && l == ol_cnt - 1) {
+      i_id = cfg.items + 7;  // guaranteed miss
+    } else {
+      i_id = static_cast<std::uint32_t>(rng.NextBounded(cfg.items));
+    }
+    const Value iv = db.item().Search(ItemKey(i_id));
+    if (iv == kNoValue) return false;  // abort
+    auto* irow = Db::Row<ItemRow>(iv);
+    auto* srow = Db::Row<StockRow>(db.stock().Search(StockKey(w, i_id)));
+    const auto qty = static_cast<std::int32_t>(1 + rng.NextBounded(10));
+    if (srow->s_quantity - qty >= 10) {
+      srow->s_quantity -= qty;
+    } else {
+      srow->s_quantity = srow->s_quantity - qty + 91;
+    }
+    srow->s_ytd += static_cast<std::uint32_t>(qty);
+    srow->s_order_cnt += 1;
+    Db::PersistRow(srow);
+    const double amount = static_cast<double>(qty) * irow->i_price;
+    total += amount;
+    db.orderline().Insert(
+        OrderLineKey(w, d, o_id, l),
+        reinterpret_cast<Value>(db.NewRow<OrderLineRow>(
+            {i_id, static_cast<std::uint32_t>(qty), amount, 0})));
+  }
+  total *= (1.0 + wrow->w_tax + drow->d_tax);
+  auto* orow = db.NewRow<OrderRow>({c, ol_cnt, 0, o_id});
+  db.order().Insert(OrderKey(w, d, o_id), reinterpret_cast<Value>(orow));
+  db.customer_order().Insert(CustomerOrderKey(w, d, c, o_id),
+                             reinterpret_cast<Value>(orow));
+  db.neworder().Insert(NewOrderKey(w, d, o_id),
+                       reinterpret_cast<Value>(db.NewRow<NewOrderRow>({w, d})));
+  return true;
+}
+
+bool RunPayment(Db& db, Rng& rng) {
+  const auto& cfg = db.config();
+  const auto w = static_cast<std::uint32_t>(rng.NextBounded(cfg.warehouses));
+  const auto d =
+      static_cast<std::uint32_t>(rng.NextBounded(cfg.districts_per_wh));
+  const auto c = static_cast<std::uint32_t>(
+      rng.NextBounded(cfg.customers_per_district));
+  const double amount =
+      1.0 + static_cast<double>(rng.NextBounded(499999)) / 100.0;
+
+  auto* wrow = Db::Row<WarehouseRow>(db.warehouse().Search(WarehouseKey(w)));
+  auto* drow = Db::Row<DistrictRow>(db.district().Search(DistrictKey(w, d)));
+  auto* crow = Db::Row<CustomerRow>(db.customer().Search(CustomerKey(w, d, c)));
+  if (wrow == nullptr || drow == nullptr || crow == nullptr) return false;
+
+  wrow->w_ytd += amount;
+  Db::PersistRow(wrow);
+  drow->d_ytd += amount;
+  Db::PersistRow(drow);
+  crow->c_balance -= amount;
+  crow->c_ytd_payment += amount;
+  crow->c_payment_cnt += 1;
+  Db::PersistRow(crow);
+  return true;
+}
+
+bool RunOrderStatus(Db& db, Rng& rng) {
+  const auto& cfg = db.config();
+  const auto w = static_cast<std::uint32_t>(rng.NextBounded(cfg.warehouses));
+  const auto d =
+      static_cast<std::uint32_t>(rng.NextBounded(cfg.districts_per_wh));
+  const auto c = static_cast<std::uint32_t>(
+      rng.NextBounded(cfg.customers_per_district));
+
+  auto* crow = Db::Row<CustomerRow>(db.customer().Search(CustomerKey(w, d, c)));
+  if (crow == nullptr) return false;
+  (void)crow->c_balance;
+
+  // Latest order of this customer: scan the (w,d,c,*) prefix.
+  core::Record buf[kScanBuf];
+  const Key lo = CustomerOrderKey(w, d, c, 0);
+  const Key hi = CustomerOrderKey(w, d, c + 1, 0);
+  const OrderRow* latest = nullptr;
+  std::uint32_t latest_o = 0;
+  Key cursor = lo;
+  for (;;) {
+    const std::size_t got = db.customer_order().Scan(cursor, kScanBuf, buf);
+    bool past = got == 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      if (buf[i].key >= hi) {
+        past = true;
+        break;
+      }
+      latest = Db::Row<OrderRow>(buf[i].ptr);
+      latest_o = static_cast<std::uint32_t>((buf[i].key - 1) & 0x0fffffff);
+    }
+    if (past || got < kScanBuf) break;
+    cursor = buf[got - 1].key + 1;
+  }
+  if (latest == nullptr) return true;  // customer with no orders: valid
+
+  // Read the order's lines.
+  const std::size_t got =
+      db.orderline().Scan(OrderLineKey(w, d, latest_o, 0), kScanBuf, buf);
+  double sum = 0.0;
+  const Key line_hi = OrderLineKey(w, d, latest_o + 1, 0);
+  for (std::size_t i = 0; i < got && buf[i].key < line_hi; ++i) {
+    sum += Db::Row<OrderLineRow>(buf[i].ptr)->ol_amount;
+  }
+  (void)sum;
+  return true;
+}
+
+bool RunDelivery(Db& db, Rng& rng) {
+  const auto& cfg = db.config();
+  const auto w = static_cast<std::uint32_t>(rng.NextBounded(cfg.warehouses));
+  const std::uint32_t carrier =
+      1 + static_cast<std::uint32_t>(rng.NextBounded(10));
+  core::Record buf[kScanBuf];
+
+  for (std::uint32_t d = 0; d < cfg.districts_per_wh; ++d) {
+    // Oldest undelivered order: minimum key in the (w,d,*) NEW-ORDER range.
+    const Key lo = NewOrderKey(w, d, 0);
+    const Key hi = NewOrderKey(w, d + 1, 0);
+    const std::size_t got = db.neworder().Scan(lo, 1, buf);
+    if (got == 0 || buf[0].key >= hi) continue;  // district fully delivered
+    const auto o_id = static_cast<std::uint32_t>((buf[0].key - 1) & 0xffffffff);
+    db.neworder().Remove(buf[0].key);
+
+    auto* orow = Db::Row<OrderRow>(db.order().Search(OrderKey(w, d, o_id)));
+    if (orow == nullptr) continue;
+    orow->o_carrier_id = carrier;
+    Db::PersistRow(orow);
+
+    const std::size_t lines =
+        db.orderline().Scan(OrderLineKey(w, d, o_id, 0), kScanBuf, buf);
+    double sum = 0.0;
+    const Key line_hi = OrderLineKey(w, d, o_id + 1, 0);
+    for (std::size_t i = 0; i < lines && buf[i].key < line_hi; ++i) {
+      auto* ol = Db::Row<OrderLineRow>(buf[i].ptr);
+      ol->ol_delivery_d = o_id + 1;
+      Db::PersistRow(ol);
+      sum += ol->ol_amount;
+    }
+    auto* crow = Db::Row<CustomerRow>(
+        db.customer().Search(CustomerKey(w, d, orow->o_c_id)));
+    if (crow != nullptr) {
+      crow->c_balance += sum;
+      crow->c_delivery_cnt += 1;
+      Db::PersistRow(crow);
+    }
+  }
+  return true;
+}
+
+bool RunStockLevel(Db& db, Rng& rng) {
+  const auto& cfg = db.config();
+  const auto w = static_cast<std::uint32_t>(rng.NextBounded(cfg.warehouses));
+  const auto d =
+      static_cast<std::uint32_t>(rng.NextBounded(cfg.districts_per_wh));
+  const auto threshold = static_cast<std::int32_t>(10 + rng.NextBounded(11));
+
+  auto* drow = Db::Row<DistrictRow>(db.district().Search(DistrictKey(w, d)));
+  if (drow == nullptr) return false;
+  const std::uint32_t next_o = drow->d_next_o_id;
+  const std::uint32_t first_o = next_o > 20 ? next_o - 20 : 0;
+
+  // Scan the order lines of the last 20 orders (the paper's big range
+  // query) and count distinct items below the stock threshold.
+  core::Record buf[kScanBuf];
+  const Key lo = OrderLineKey(w, d, first_o, 0);
+  const Key hi = OrderLineKey(w, d, next_o, 0);
+  std::unordered_set<std::uint32_t> low_items;
+  Key cursor = lo;
+  for (;;) {
+    const std::size_t got = db.orderline().Scan(cursor, kScanBuf, buf);
+    bool past = got == 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      if (buf[i].key >= hi) {
+        past = true;
+        break;
+      }
+      const auto* ol = Db::Row<OrderLineRow>(buf[i].ptr);
+      const Value sv = db.stock().Search(StockKey(w, ol->ol_i_id));
+      if (sv != kNoValue &&
+          Db::Row<StockRow>(sv)->s_quantity < threshold) {
+        low_items.insert(ol->ol_i_id);
+      }
+    }
+    if (past || got < kScanBuf) break;
+    cursor = buf[got - 1].key + 1;
+  }
+  (void)low_items.size();
+  return true;
+}
+
+bool RunTxn(Db& db, Rng& rng, TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder:
+      return RunNewOrder(db, rng);
+    case TxnType::kPayment:
+      return RunPayment(db, rng);
+    case TxnType::kOrderStatus:
+      return RunOrderStatus(db, rng);
+    case TxnType::kDelivery:
+      return RunDelivery(db, rng);
+    case TxnType::kStockLevel:
+      return RunStockLevel(db, rng);
+  }
+  return false;
+}
+
+}  // namespace fastfair::tpcc

@@ -1,0 +1,28 @@
+// The five TPC-C transaction profiles (§5.6 / Fig 6), single-threaded over
+// a Db. Each returns false only on spec-sanctioned aborts (e.g. New-Order
+// with an invalid item, ~1%).
+
+#pragma once
+
+#include "common/rng.h"
+#include "tpcc/db.h"
+
+namespace fastfair::tpcc {
+
+enum class TxnType : std::uint8_t {
+  kNewOrder,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+};
+
+bool RunNewOrder(Db& db, Rng& rng);
+bool RunPayment(Db& db, Rng& rng);
+bool RunOrderStatus(Db& db, Rng& rng);
+bool RunDelivery(Db& db, Rng& rng);
+bool RunStockLevel(Db& db, Rng& rng);
+
+bool RunTxn(Db& db, Rng& rng, TxnType type);
+
+}  // namespace fastfair::tpcc

@@ -1,0 +1,175 @@
+// Tests for the benchmark support library: workload generators, stats
+// measurement, table rendering, option parsing, and the thread runner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+
+#include "bench/options.h"
+#include "bench/runner.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "index/index.h"
+
+namespace fastfair::bench {
+namespace {
+
+TEST(Workload, UniformKeysAreDistinctNonZeroDeterministic) {
+  const auto a = UniformKeys(10000, 5);
+  const auto b = UniformKeys(10000, 5);
+  EXPECT_EQ(a, b);
+  std::set<Key> set(a.begin(), a.end());
+  EXPECT_EQ(set.size(), a.size());
+  EXPECT_EQ(set.count(0), 0u);
+  const auto c = UniformKeys(1000, 6);
+  EXPECT_NE(std::vector<Key>(a.begin(), a.begin() + 1000), c);
+}
+
+TEST(Workload, UniformKeysInRangeRespectsUniverse) {
+  const auto keys = UniformKeysInRange(5000, 100, 1);
+  for (const Key k : keys) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 100u);
+  }
+}
+
+TEST(Workload, PermutationIsAPermutation) {
+  const auto p = Permutation(1000, 3);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+  EXPECT_NE(p, Permutation(1000, 4));
+}
+
+TEST(Workload, RangeQueriesMatchSelectionRatio) {
+  const auto dataset = UniformKeys(10000, 7);
+  const auto qs = RangeQueries(dataset, 1.0, 50, 9);
+  ASSERT_EQ(qs.size(), 50u);
+  for (const auto& q : qs) {
+    EXPECT_EQ(q.count, 100u);  // 1% of 10k
+  }
+  const auto qs5 = RangeQueries(dataset, 5.0, 10, 9);
+  EXPECT_EQ(qs5[0].count, 500u);
+}
+
+TEST(Workload, MixedOpsFollowPaperRatios) {
+  const auto ops = MixedOps(21000, 1000, 11);
+  std::size_t searches = 0, inserts = 0, deletes = 0;
+  for (const auto& op : ops) {
+    switch (op.type) {
+      case OpType::kSearch:
+        ++searches;
+        break;
+      case OpType::kInsert:
+        ++inserts;
+        break;
+      case OpType::kDelete:
+        ++deletes;
+        break;
+    }
+  }
+  EXPECT_EQ(searches, 16000u);
+  EXPECT_EQ(inserts, 4000u);
+  EXPECT_EQ(deletes, 1000u);
+}
+
+TEST(Stats, TimerMeasuresElapsed) {
+  Timer t;
+  pm::SpinNs(200000);
+  EXPECT_GE(t.ElapsedNs(), 180000u);
+  t.Reset();
+  EXPECT_LT(t.ElapsedNs(), 100000u);
+}
+
+TEST(Stats, MeasurePhaseCapturesPmDeltas) {
+  alignas(64) char buf[256];
+  pm::ResetStats();
+  const auto r = MeasurePhase([&] { pm::Persist(buf, 256); });
+  EXPECT_EQ(r.pm.flush_lines, 4u);
+  EXPECT_EQ(r.pm.fences, 1u);
+  EXPECT_GT(r.wall_ns, 0u);
+  EXPECT_NEAR(r.FlushPerOp(2), 2.0, 1e-9);
+}
+
+TEST(Stats, KopsMath) {
+  EXPECT_NEAR(Kops(1000, 1000000000ull), 1.0, 1e-9);   // 1k ops in 1 s
+  EXPECT_NEAR(Kops(500000, 500000000ull), 1000.0, 1e-6);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::Num(1.5), "1.50");
+  EXPECT_EQ(Table::Num(1.237, 1), "1.2");
+  EXPECT_EQ(Table::Num(42, 0), "42");
+}
+
+TEST(Options, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const auto o = ParseOptions(1, argv);
+  EXPECT_EQ(o.scale, "small");
+  EXPECT_FALSE(o.csv);
+  EXPECT_EQ(o.threads, (std::vector<int>{1, 2, 4, 8, 16, 32}));
+}
+
+TEST(Options, ParsesEverything) {
+  char prog[] = "bench";
+  char a1[] = "--scale=paper";
+  char a2[] = "--n=12345";
+  char a3[] = "--threads=1,3,9";
+  char a4[] = "--csv";
+  char a5[] = "--seed=99";
+  char* argv[] = {prog, a1, a2, a3, a4, a5};
+  const auto o = ParseOptions(6, argv);
+  EXPECT_EQ(o.scale, "paper");
+  EXPECT_EQ(o.n_override, 12345u);
+  EXPECT_EQ(o.threads, (std::vector<int>{1, 3, 9}));
+  EXPECT_TRUE(o.csv);
+  EXPECT_EQ(o.seed, 99u);
+}
+
+TEST(Options, ScaledN) {
+  Options o;
+  o.scale = "paper";
+  EXPECT_EQ(o.ScaledN(10000000), 10000000u);
+  o.scale = "small";
+  EXPECT_EQ(o.ScaledN(10000000), 500000u);
+  o.scale = "ci";
+  EXPECT_EQ(o.ScaledN(10000000), 50000u);
+  o.n_override = 42;
+  EXPECT_EQ(o.ScaledN(10000000), 42u);
+}
+
+TEST(Runner, LoadIndexInsertsAllKeys) {
+  pm::Pool pool(256 << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  const auto keys = UniformKeys(5000, 13);
+  LoadIndex(idx.get(), keys);
+  for (const Key k : keys) ASSERT_EQ(idx->Search(k), ValueFor(k));
+}
+
+TEST(Runner, RunThreadsCoversPartition) {
+  std::atomic<std::uint64_t> sum{0};
+  const std::uint64_t wall =
+      RunThreads(4, 1000, [&](int, std::size_t b, std::size_t e) {
+        std::uint64_t local = 0;
+        for (std::size_t i = b; i < e; ++i) local += i;
+        sum.fetch_add(local);
+      });
+  EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+  EXPECT_GT(wall, 0u);
+}
+
+TEST(Runner, RunThreadsHandlesMoreThreadsThanWork) {
+  std::atomic<int> count{0};
+  RunThreads(8, 3, [&](int, std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace fastfair::bench

@@ -1,0 +1,160 @@
+// Tests for the volatile B-link baseline: latch-crabbing reads, splits with
+// high keys, concurrency, and model equivalence.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/blink/blink.h"
+#include "common/rng.h"
+
+namespace fastfair::baselines {
+namespace {
+
+TEST(BLink, EmptyTree) {
+  BLink t;
+  EXPECT_EQ(t.Search(1), kNoValue);
+  EXPECT_FALSE(t.Remove(1));
+  EXPECT_EQ(t.CountEntries(), 0u);
+}
+
+TEST(BLink, InsertSearchRemove) {
+  BLink t;
+  t.Insert(10, 100);
+  t.Insert(5, 50);
+  t.Insert(20, 200);
+  EXPECT_EQ(t.Search(5), 50u);
+  EXPECT_EQ(t.Search(10), 100u);
+  EXPECT_EQ(t.Search(20), 200u);
+  EXPECT_TRUE(t.Remove(10));
+  EXPECT_EQ(t.Search(10), kNoValue);
+}
+
+TEST(BLink, UpsertInPlace) {
+  BLink t;
+  t.Insert(1, 11);
+  t.Insert(1, 12);
+  EXPECT_EQ(t.Search(1), 12u);
+  EXPECT_EQ(t.CountEntries(), 1u);
+}
+
+TEST(BLink, SplitsAndSequentialPatterns) {
+  for (const bool ascending : {true, false}) {
+    BLink t;
+    for (int i = 0; i < 20000; ++i) {
+      const Key k = ascending ? static_cast<Key>(i + 1)
+                              : static_cast<Key>(20000 - i);
+      t.Insert(k, k * 2 + 1);
+    }
+    for (Key k = 1; k <= 20000; k += 11) ASSERT_EQ(t.Search(k), k * 2 + 1);
+    EXPECT_EQ(t.CountEntries(), 20000u);
+  }
+}
+
+TEST(BLink, ModelEquivalence) {
+  BLink t;
+  std::map<Key, Value> model;
+  Rng rng(51);
+  for (int i = 0; i < 50000; ++i) {
+    const Key k = rng.NextBounded(25000) + 1;
+    if (rng.NextBounded(5) == 0) {
+      const bool in_model = model.erase(k) > 0;
+      ASSERT_EQ(t.Remove(k), in_model);
+    } else {
+      const Value v = k * 13 + 1;
+      t.Insert(k, v);
+      model[k] = v;
+    }
+  }
+  for (const auto& [k, v] : model) ASSERT_EQ(t.Search(k), v);
+  ASSERT_EQ(t.CountEntries(), model.size());
+}
+
+TEST(BLink, ScanSortedAcrossLeaves) {
+  BLink t;
+  Rng rng(53);
+  std::map<Key, Value> model;
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = rng.Next() | 1;
+    t.Insert(k, k + 8);
+    model[k] = k + 8;
+  }
+  std::vector<core::Record> out(777);
+  const Key start = model.begin()->first;
+  const std::size_t n = t.Scan(start, out.size(), out.data());
+  ASSERT_EQ(n, 777u);
+  auto it = model.begin();
+  for (std::size_t i = 0; i < n; ++i, ++it) {
+    ASSERT_EQ(out[i].key, it->first);
+  }
+}
+
+TEST(BLink, NoFlushesEver) {
+  // The volatile baseline must never touch the persistence layer.
+  BLink t;
+  pm::ResetStats();
+  const auto before = pm::Stats();
+  for (Key k = 1; k <= 5000; ++k) t.Insert(k, k + 1);
+  const auto delta = pm::Stats() - before;
+  EXPECT_EQ(delta.flush_lines, 0u);
+  EXPECT_EQ(delta.fences, 0u);
+}
+
+TEST(BLink, ConcurrentMixedWorkload) {
+  BLink t;
+  constexpr int kThreads = 8, kOps = 15000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Rng rng(70 + tid);
+      for (int i = 0; i < kOps; ++i) {
+        const Key k =
+            (static_cast<Key>(tid) << 36) | (rng.NextBounded(4000) + 1);
+        switch (rng.NextBounded(4)) {
+          case 0:
+            t.Remove(k);
+            break;
+          case 1: {
+            const Value v = t.Search(k);
+            if (v != kNoValue && v != k + 1) failed.store(true);
+            break;
+          }
+          default:
+            t.Insert(k, k + 1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(BLink, ConcurrentReadersDuringSplits) {
+  BLink t;
+  for (Key k = 1; k <= 2000; k += 2) t.Insert(k, k + 1);
+  std::atomic<bool> stop{false};
+  std::atomic<int> lost{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(80 + r);
+      while (!stop.load()) {
+        const Key k = (rng.NextBounded(1000) * 2) + 1;
+        if (t.Search(k) != k + 1) lost.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (Key k = 2; k <= 100000; k += 2) t.Insert(k, k + 1);
+    stop.store(true);
+  });
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(lost.load(), 0);
+}
+
+}  // namespace
+}  // namespace fastfair::baselines

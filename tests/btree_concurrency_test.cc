@@ -1,0 +1,259 @@
+// Concurrency tests for FAST+FAIR (paper §4, §5.7): lock-free readers
+// racing writers, direction-flip correctness, leaf-lock mode equivalence,
+// and multi-threaded mixed workloads. The paper argues these same runs
+// demonstrate recoverability: readers continuously observe partially
+// updated nodes and must tolerate them.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/btree.h"
+
+namespace fastfair::core {
+namespace {
+
+TEST(BTreeConcurrency, DisjointWritersNoLostInserts) {
+  pm::Pool pool(1u << 30);
+  BTree tree(&pool);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Key k = (static_cast<Key>(t) << 40) | static_cast<Key>(i + 1);
+        tree.Insert(k, k + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.CountEntries(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; i += 7) {
+      const Key k = (static_cast<Key>(t) << 40) | static_cast<Key>(i + 1);
+      ASSERT_EQ(tree.Search(k), k + 1);
+    }
+  }
+  std::string msg;
+  EXPECT_TRUE(tree.CheckInvariants(&msg)) << msg;
+}
+
+TEST(BTreeConcurrency, ReadersNeverSeeTornValues) {
+  // Writers upsert keys with values that encode the key; readers assert
+  // that any value they observe is consistent with its key — across shift
+  // positions, splits, and direction flips.
+  pm::Pool pool(1u << 30);
+  BTree tree(&pool);
+  constexpr Key kUniverse = 4000;
+  for (Key k = 1; k <= kUniverse; k += 2) tree.Insert(k, k * 1000 + 1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key k = rng.NextBounded(kUniverse) + 1;
+        const Value v = tree.Search(k);
+        if (v != kNoValue && v != k * 1000 + 1) {
+          failed.store(true);
+          stop.store(true);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(200 + w);
+      for (int i = 0; i < 60000 && !stop.load(std::memory_order_acquire);
+           ++i) {
+        const Key k = rng.NextBounded(kUniverse) + 1;
+        if (rng.NextBounded(3) == 0) {
+          tree.Remove(k);
+        } else {
+          tree.Insert(k, k * 1000 + 1);
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(failed.load());
+  std::string msg;
+  EXPECT_TRUE(tree.CheckInvariants(&msg)) << msg;
+}
+
+TEST(BTreeConcurrency, ReaderFindsCommittedKeysDuringShifts) {
+  // A set of anchor keys is inserted up front and never removed; writers
+  // churn other keys in the same leaves, forcing shifts past the anchors.
+  // Readers must find every anchor on every probe (no lost keys).
+  pm::Pool pool(1u << 30);
+  BTree tree(&pool);
+  std::vector<Key> anchors;
+  for (Key k = 100; k <= 100000; k += 1000) {
+    anchors.push_back(k);
+    tree.Insert(k, k + 7);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> lost{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(300 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key a = anchors[rng.NextBounded(anchors.size())];
+        if (tree.Search(a) != a + 7) lost.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    Rng rng(55);
+    for (int i = 0; i < 150000; ++i) {
+      const Key k = rng.NextBounded(100000) + 1;
+      if (k % 1000 == 100) continue;  // never touch anchors
+      if (rng.NextBounded(2) == 0) {
+        tree.Insert(k, k + 7);
+      } else {
+        tree.Remove(k);
+      }
+    }
+  });
+  writer.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(lost.load(), 0);
+}
+
+TEST(BTreeConcurrency, LeafLockModeMatchesLockFreeResults) {
+  for (const auto cc : {ConcurrencyMode::kLockFree,
+                        ConcurrencyMode::kLeafLock}) {
+    Options opts;
+    opts.concurrency = cc;
+    pm::Pool pool(1u << 30);
+    BTree tree(&pool, opts);
+    constexpr int kThreads = 6;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(400 + t);
+        for (int i = 0; i < 15000; ++i) {
+          const Key k =
+              (static_cast<Key>(t) << 32) | static_cast<Key>(i + 1);
+          tree.Insert(k, k ^ 0x5555);
+          if ((i & 15) == 0) {
+            const Key probe = (static_cast<Key>(t) << 32) |
+                              (rng.NextBounded(static_cast<Key>(i) + 1) + 1);
+            ASSERT_EQ(tree.Search(probe), probe ^ 0x5555);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(tree.CountEntries(), 6u * 15000u);
+  }
+}
+
+TEST(BTreeConcurrency, MixedWorkloadConvergesToModel) {
+  // Each thread owns a key partition so a sequential replay can predict
+  // the final state exactly.
+  pm::Pool pool(1u << 30);
+  BTree tree(&pool);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 25000;
+  std::vector<std::map<Key, Value>> models(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(500 + t);
+      auto& model = models[static_cast<std::size_t>(t)];
+      for (int i = 0; i < kOps; ++i) {
+        const Key k =
+            (static_cast<Key>(t) << 36) | (rng.NextBounded(5000) + 1);
+        switch (rng.NextBounded(4)) {
+          case 0:
+            tree.Remove(k);
+            model.erase(k);
+            break;
+          case 1: {
+            const auto it = model.find(k);
+            const Value expect = it == model.end() ? kNoValue : it->second;
+            const Value got = tree.Search(k);
+            ASSERT_EQ(got, expect);
+            break;
+          }
+          default: {
+            // Injective in (k, i): distinct keys never share a value, as the
+            // duplicate-pointer rule requires.
+            const Value v = k * 1000003 + static_cast<Value>(i) + 1;
+            tree.Insert(k, v);
+            model[k] = v;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::size_t total = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& [k, v] : models[static_cast<std::size_t>(t)]) {
+      ASSERT_EQ(tree.Search(k), v);
+    }
+    total += models[static_cast<std::size_t>(t)].size();
+  }
+  EXPECT_EQ(tree.CountEntries(), total);
+  std::string msg;
+  EXPECT_TRUE(tree.CheckInvariants(&msg)) << msg;
+}
+
+TEST(BTreeConcurrency, ConcurrentScansSeeSortedConsistentSlices) {
+  pm::Pool pool(1u << 30);
+  BTree tree(&pool);
+  for (Key k = 1; k <= 30000; ++k) tree.Insert(k, k + 3);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    Rng rng(77);
+    for (int i = 0; i < 60000; ++i) {
+      const Key k = 30001 + rng.NextBounded(30000);
+      if (rng.NextBounded(2) == 0) {
+        tree.Insert(k, k + 3);
+      } else {
+        tree.Remove(k);
+      }
+    }
+    stop.store(true);
+  });
+  std::thread scanner([&] {
+    Rng rng(78);
+    std::vector<Record> out(512);
+    while (!stop.load(std::memory_order_acquire)) {
+      const Key start = rng.NextBounded(30000) + 1;
+      const std::size_t n = tree.Scan(start, out.size(), out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && out[i].key <= out[i - 1].key) failed.store(true);
+        if (out[i].key <= 30000 && out[i].ptr != out[i].key + 3) {
+          failed.store(true);  // stable region must read exactly
+        }
+      }
+      // The stable prefix [start, 30000] must be gap-free.
+      for (std::size_t i = 0; i + 1 < n && out[i + 1].key <= 30000; ++i) {
+        if (out[i + 1].key != out[i].key + 1) failed.store(true);
+      }
+    }
+  });
+  writer.join();
+  scanner.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace fastfair::core

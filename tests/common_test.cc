@@ -1,0 +1,90 @@
+// Unit tests for src/common: type constants, alignment math, and the PRNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/defs.h"
+#include "common/rng.h"
+
+namespace fastfair {
+namespace {
+
+TEST(AlignUp, AlreadyAligned) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(128, 64), 128u);
+}
+
+TEST(AlignUp, RoundsUp) {
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(63, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+  EXPECT_EQ(AlignUp(100, 16), 112u);
+}
+
+TEST(Constants, CacheLineAndWordSize) {
+  EXPECT_EQ(kCacheLineSize, 64u);
+  EXPECT_EQ(kAtomicWriteSize, 8u);
+  EXPECT_EQ(kNoValue, 0u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.insert(r.Next());
+  EXPECT_GT(vals.size(), 95u);  // not stuck
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(17), 17u);
+    EXPECT_EQ(r.NextBounded(1), 0u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // uniform mean
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng r(13);
+  int buckets[8] = {0};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) buckets[r.NextBounded(8)] += 1;
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 8, kDraws / 80);  // within 10%
+  }
+}
+
+}  // namespace
+}  // namespace fastfair

@@ -1,0 +1,155 @@
+// Cross-index differential tests: every structure in the registry must
+// produce identical results for the identical operation stream. This is the
+// strongest functional evidence that the comparative benchmarks compare
+// like for like.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/index.h"
+#include "pm/persist.h"
+
+namespace fastfair {
+namespace {
+
+TEST(IndexFactory, AllKindsConstruct) {
+  pm::Pool pool(1u << 30);
+  for (const auto& kind : AllIndexKinds()) {
+    auto idx = MakeIndex(kind, &pool);
+    ASSERT_NE(idx, nullptr);
+    EXPECT_EQ(idx->name(), kind);
+    idx->Insert(1, 2);
+    EXPECT_EQ(idx->Search(1), 2u);
+  }
+}
+
+TEST(IndexFactory, UnknownKindThrows) {
+  pm::Pool pool(1 << 20);
+  EXPECT_THROW(MakeIndex("btrfs", &pool), std::invalid_argument);
+  EXPECT_THROW(MakeIndex("", &pool), std::invalid_argument);
+}
+
+TEST(IndexFactory, ConcurrencySupportFlags) {
+  pm::Pool pool(1u << 30);
+  EXPECT_TRUE(MakeIndex("fastfair", &pool)->supports_concurrency());
+  EXPECT_TRUE(MakeIndex("fptree", &pool)->supports_concurrency());
+  EXPECT_TRUE(MakeIndex("skiplist", &pool)->supports_concurrency());
+  EXPECT_TRUE(MakeIndex("blink", &pool)->supports_concurrency());
+  EXPECT_FALSE(MakeIndex("wbtree", &pool)->supports_concurrency());
+  EXPECT_FALSE(MakeIndex("wort", &pool)->supports_concurrency());
+}
+
+class IndexDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IndexDifferential, MatchesStdMapOnRandomStream) {
+  pm::Pool pool(2u << 30);
+  auto idx = MakeIndex(GetParam(), &pool);
+  std::map<Key, Value> model;
+  Rng rng(61);
+  for (int i = 0; i < 40000; ++i) {
+    const Key k = rng.NextBounded(20000) + 1;
+    switch (rng.NextBounded(8)) {
+      case 0: {
+        const bool in_model = model.erase(k) > 0;
+        ASSERT_EQ(idx->Remove(k), in_model) << "op " << i;
+        break;
+      }
+      case 1: {
+        const auto it = model.find(k);
+        ASSERT_EQ(idx->Search(k),
+                  it == model.end() ? kNoValue : it->second)
+            << "op " << i;
+        break;
+      }
+      default: {
+        const Value v = (k << 18) + static_cast<Value>(i % 100) + 1;
+        idx->Insert(k, v);
+        model[k] = v;
+      }
+    }
+  }
+  for (const auto& [k, v] : model) ASSERT_EQ(idx->Search(k), v);
+}
+
+TEST_P(IndexDifferential, ScanMatchesSortedModel) {
+  pm::Pool pool(2u << 30);
+  auto idx = MakeIndex(GetParam(), &pool);
+  std::map<Key, Value> model;
+  Rng rng(67);
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = rng.Next() | 1;
+    idx->Insert(k, k ^ 0xbeef);
+    model[k] = k ^ 0xbeef;
+  }
+  std::vector<core::Record> out(257);
+  for (int q = 0; q < 20; ++q) {
+    const Key start = rng.Next();
+    const std::size_t n = idx->Scan(start, out.size(), out.data());
+    auto it = model.lower_bound(start);
+    const std::size_t expect = std::min<std::size_t>(
+        out.size(), static_cast<std::size_t>(std::distance(it, model.end())));
+    ASSERT_EQ(n, expect) << "scan from " << start;
+    for (std::size_t i = 0; i < n; ++i, ++it) {
+      ASSERT_EQ(out[i].key, it->first);
+      ASSERT_EQ(out[i].ptr, it->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, IndexDifferential,
+    ::testing::Values("fastfair", "fastfair-leaflock", "fastfair-logging",
+                      "fastfair-binary", "fastfair-1k", "wbtree", "fptree",
+                      "wort", "skiplist", "blink"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(IndexComparative, FastFairFlushesFewerLinesThanWBTree) {
+  // The core quantitative claim behind Fig 5(a): FAST+FAIR issues fewer
+  // cache-line flushes per insert than wB+-tree (paper: 1.7x fewer).
+  pm::Pool pool(2u << 30);
+  const auto keys_count = 30000;
+  Rng rng(71);
+  std::vector<Key> keys;
+  for (int i = 0; i < keys_count; ++i) keys.push_back(rng.Next() | 1);
+
+  auto measure = [&](const char* kind) {
+    auto idx = MakeIndex(kind, &pool);
+    pm::ResetStats();
+    const auto before = pm::Stats();
+    for (const Key k : keys) idx->Insert(k, k + 1);
+    return (pm::Stats() - before).flush_lines;
+  };
+  const auto ff = measure("fastfair");
+  const auto wb = measure("wbtree");
+  EXPECT_LT(ff, wb);
+  EXPECT_GE(static_cast<double>(wb) / static_cast<double>(ff), 1.3);
+}
+
+TEST(IndexComparative, LoggingSplitCostsMoreFlushesThanFair) {
+  pm::Pool pool(2u << 30);
+  Rng rng(73);
+  std::vector<Key> keys;
+  for (int i = 0; i < 30000; ++i) keys.push_back(rng.Next() | 1);
+  auto measure = [&](const char* kind) {
+    auto idx = MakeIndex(kind, &pool);
+    pm::ResetStats();
+    const auto before = pm::Stats();
+    for (const Key k : keys) idx->Insert(k, k + 1);
+    return (pm::Stats() - before).flush_lines;
+  };
+  const auto fair = measure("fastfair");
+  const auto logging = measure("fastfair-logging");
+  EXPECT_GT(logging, fair);
+}
+
+}  // namespace
+}  // namespace fastfair

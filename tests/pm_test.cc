@@ -1,0 +1,364 @@
+// Unit tests for the PM substrate: pool allocator, persistence primitives,
+// latency injection (the Quartz substitute), and per-thread statistics.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "pm/persist.h"
+#include "pm/pool.h"
+
+namespace fastfair::pm {
+namespace {
+
+class PmConfigGuard {  // restores the global emulation config after a test
+ public:
+  PmConfigGuard() : saved_(GetConfig()) {}
+  ~PmConfigGuard() { SetConfig(saved_); }
+
+ private:
+  Config saved_;
+};
+
+TEST(Pool, AllocReturnsAlignedDistinctMemory) {
+  Pool pool(1 << 20);
+  void* a = pool.Alloc(100);
+  void* b = pool.Alloc(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % kCacheLineSize, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % kCacheLineSize, 0u);
+}
+
+TEST(Pool, AllocHonorsCustomAlignment) {
+  Pool pool(1 << 20);
+  pool.Alloc(1, 8);
+  void* p = pool.Alloc(16, 512);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 512, 0u);
+}
+
+TEST(Pool, AllocationsAreWritable) {
+  Pool pool(1 << 20);
+  auto* p = static_cast<std::uint64_t*>(pool.Alloc(8 * 128));
+  for (int i = 0; i < 128; ++i) p[i] = static_cast<std::uint64_t>(i) * 3;
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(p[i], static_cast<std::uint64_t>(i) * 3);
+  }
+}
+
+TEST(Pool, ExhaustionThrowsBadAlloc) {
+  Pool pool(4096);
+  EXPECT_THROW(pool.Alloc(1 << 20), std::bad_alloc);
+}
+
+TEST(Pool, TooSmallCapacityRejected) {
+  EXPECT_THROW(Pool pool(16), std::invalid_argument);
+}
+
+TEST(Pool, ContainsDistinguishesInsideAndOutside) {
+  Pool pool(1 << 20);
+  void* p = pool.Alloc(64);
+  int local = 0;
+  EXPECT_TRUE(pool.Contains(p));
+  EXPECT_FALSE(pool.Contains(&local));
+  EXPECT_FALSE(pool.Contains(nullptr));
+}
+
+TEST(Pool, UsedGrowsMonotonically) {
+  Pool pool(1 << 20);
+  const std::size_t u0 = pool.used();
+  pool.Alloc(100);
+  const std::size_t u1 = pool.used();
+  pool.Alloc(100);
+  EXPECT_GT(u1, u0);
+  EXPECT_GT(pool.used(), u1);
+}
+
+TEST(Pool, FreeIsStatisticsOnly) {
+  Pool pool(1 << 20);
+  void* p = pool.Alloc(256);
+  EXPECT_EQ(pool.freed_bytes(), 0u);
+  pool.Free(p, 256);
+  EXPECT_EQ(pool.freed_bytes(), 256u);
+  pool.Free(nullptr, 99);  // no-op
+  EXPECT_EQ(pool.freed_bytes(), 256u);
+}
+
+TEST(Pool, RootPointerRoundTrips) {
+  Pool pool(1 << 20);
+  EXPECT_EQ(pool.GetRoot(), nullptr);
+  void* p = pool.Alloc(64);
+  pool.SetRoot(p);
+  EXPECT_EQ(pool.GetRoot(), p);
+}
+
+TEST(Pool, ResetReclaimsSpace) {
+  Pool pool(1 << 20);
+  pool.Alloc(1000);
+  const std::size_t used = pool.used();
+  pool.Reset();
+  EXPECT_LT(pool.used(), used);
+  EXPECT_EQ(pool.GetRoot(), nullptr);
+}
+
+TEST(Pool, ConcurrentAllocationsDoNotOverlap) {
+  Pool pool(64 << 20);
+  constexpr int kThreads = 8, kAllocs = 2000;
+  std::vector<std::vector<void*>> ptrs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAllocs; ++i) {
+        void* p = pool.Alloc(64);
+        *static_cast<std::uint64_t*>(p) = (static_cast<std::uint64_t>(t) << 32) | static_cast<std::uint64_t>(i);
+        ptrs[t].push_back(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kAllocs; ++i) {
+      EXPECT_EQ(*static_cast<std::uint64_t*>(ptrs[t][i]),
+                (static_cast<std::uint64_t>(t) << 32) | static_cast<std::uint64_t>(i));
+    }
+  }
+}
+
+TEST(Pool, NewConstructsInPool) {
+  Pool pool(1 << 20);
+  struct Foo {
+    int a;
+    double b;
+  };
+  Foo* f = pool.New<Foo>(Foo{7, 2.5});
+  EXPECT_TRUE(pool.Contains(f));
+  EXPECT_EQ(f->a, 7);
+  EXPECT_EQ(f->b, 2.5);
+}
+
+TEST(PoolFileBacked, SurvivesReopen) {
+  const std::string path = ::testing::TempDir() + "/ff_pool_test.pm";
+  std::remove(path.c_str());
+  constexpr std::size_t kCap = 1 << 20;
+  void* stored = nullptr;
+  {
+    Pool::Options opts;
+    opts.capacity = kCap;
+    opts.file_path = path;
+    Pool pool(opts);
+    EXPECT_FALSE(pool.reopened());
+    auto* p = static_cast<std::uint64_t*>(pool.Alloc(64));
+    *p = 0xfeedface;
+    Persist(p, 8);
+    pool.SetRoot(p);
+    stored = p;
+  }
+  {
+    Pool::Options opts;
+    opts.capacity = kCap;
+    opts.file_path = path;
+    Pool pool(opts);
+    EXPECT_TRUE(pool.reopened());
+    ASSERT_EQ(pool.GetRoot(), stored);  // fixed mapping: pointer stable
+    EXPECT_EQ(*static_cast<std::uint64_t*>(pool.GetRoot()), 0xfeedfaceu);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PoolFileBacked, CapacityMismatchRejected) {
+  const std::string path = ::testing::TempDir() + "/ff_pool_mismatch.pm";
+  std::remove(path.c_str());
+  {
+    Pool::Options opts;
+    opts.capacity = 1 << 20;
+    opts.file_path = path;
+    Pool pool(opts);
+  }
+  Pool::Options opts;
+  opts.capacity = 2 << 20;
+  opts.file_path = path;
+  EXPECT_THROW(Pool pool(opts), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --- persist layer -----------------------------------------------------------
+
+TEST(Persist, ClflushCountsLines) {
+  PmConfigGuard guard;
+  SetConfig(Config{});
+  alignas(64) char buf[256] = {};
+  ResetStats();
+  Clflush(buf);
+  EXPECT_EQ(Stats().flush_lines, 1u);
+  Clflush(buf + 64);
+  EXPECT_EQ(Stats().flush_lines, 2u);
+}
+
+TEST(Persist, PersistFlushesEveryCoveredLineOnce) {
+  PmConfigGuard guard;
+  SetConfig(Config{});
+  alignas(64) char buf[512] = {};
+  ResetStats();
+  Persist(buf, 256);  // exactly 4 lines
+  EXPECT_EQ(Stats().flush_lines, 4u);
+  EXPECT_EQ(Stats().fences, 1u);
+
+  ResetStats();
+  Persist(buf + 60, 8);  // straddles a line boundary: 2 lines
+  EXPECT_EQ(Stats().flush_lines, 2u);
+
+  ResetStats();
+  Persist(buf, 1);  // sub-line: 1 line
+  EXPECT_EQ(Stats().flush_lines, 1u);
+
+  ResetStats();
+  Persist(buf, 0);  // zero-length: still anchors one line
+  EXPECT_EQ(Stats().flush_lines, 1u);
+}
+
+TEST(Persist, SfenceCounts) {
+  PmConfigGuard guard;
+  ResetStats();
+  Sfence();
+  Sfence();
+  EXPECT_EQ(Stats().fences, 2u);
+}
+
+TEST(Persist, WriteLatencyIsInjectedPerLine) {
+  PmConfigGuard guard;
+  Config cfg;
+  cfg.write_latency_ns = 2000;
+  SetConfig(cfg);
+  alignas(64) char buf[1024] = {};
+  ResetStats();
+  const std::uint64_t t0 = NowNs();
+  Persist(buf, 1024);  // 16 lines * 2 us = 32 us minimum
+  const std::uint64_t dt = NowNs() - t0;
+  EXPECT_GE(dt, 16u * 2000u * 9 / 10);  // allow 10% calibration slack
+  EXPECT_GE(Stats().flush_ns, 16u * 2000u * 9 / 10);
+}
+
+TEST(Persist, ReadLatencyIsInjectedPerAnnotation) {
+  PmConfigGuard guard;
+  Config cfg;
+  cfg.read_latency_ns = 5000;
+  SetConfig(cfg);
+  ResetStats();
+  const std::uint64_t t0 = NowNs();
+  for (int i = 0; i < 10; ++i) AnnotateRead(&cfg);
+  const std::uint64_t dt = NowNs() - t0;
+  EXPECT_GE(dt, 10u * 5000u * 9 / 10);
+  EXPECT_EQ(Stats().read_annotations, 10u);
+}
+
+TEST(Persist, TsoModeSkipsBarriers) {
+  PmConfigGuard guard;
+  SetMemModel(MemModel::kTso);
+  ResetStats();
+  for (int i = 0; i < 5; ++i) FenceIfNotTso();
+  EXPECT_EQ(Stats().barriers, 0u);
+}
+
+TEST(Persist, NonTsoModeCountsAndDelaysBarriers) {
+  PmConfigGuard guard;
+  SetMemModel(MemModel::kNonTso, 1000);
+  ResetStats();
+  const std::uint64_t t0 = NowNs();
+  for (int i = 0; i < 8; ++i) FenceIfNotTso();
+  const std::uint64_t dt = NowNs() - t0;
+  EXPECT_EQ(Stats().barriers, 8u);
+  EXPECT_GE(dt, 8u * 1000u * 9 / 10);
+  SetMemModel(MemModel::kTso);
+}
+
+TEST(Persist, StatsAreThreadLocal) {
+  PmConfigGuard guard;
+  SetConfig(Config{});
+  ResetStats();
+  alignas(64) char buf[64] = {};
+  Clflush(buf);
+  std::uint64_t other_flushes = 99;
+  std::thread th([&] {
+    ResetStats();
+    other_flushes = Stats().flush_lines;
+  });
+  th.join();
+  EXPECT_EQ(other_flushes, 0u);
+  EXPECT_EQ(Stats().flush_lines, 1u);
+}
+
+TEST(Persist, StatsSubtraction) {
+  ThreadStats a;
+  a.flush_lines = 10;
+  a.fences = 5;
+  a.flush_ns = 1000;
+  ThreadStats b;
+  b.flush_lines = 4;
+  b.fences = 2;
+  b.flush_ns = 300;
+  const ThreadStats d = a - b;
+  EXPECT_EQ(d.flush_lines, 6u);
+  EXPECT_EQ(d.fences, 3u);
+  EXPECT_EQ(d.flush_ns, 700u);
+}
+
+TEST(Persist, SpinNsWaitsApproximately) {
+  const std::uint64_t t0 = NowNs();
+  SpinNs(100000);  // 100 us
+  const std::uint64_t dt = NowNs() - t0;
+  EXPECT_GE(dt, 90000u);
+  EXPECT_LT(dt, 10000000u);  // sanity upper bound: 10 ms
+}
+
+TEST(Persist, RelaxedPersistencyFencesPerLine) {
+  PmConfigGuard guard;
+  Config cfg;
+  cfg.persistency = Persistency::kRelaxed;
+  SetConfig(cfg);
+  alignas(64) char buf[512] = {};
+  ResetStats();
+  Persist(buf, 512);  // 8 lines: 7 inter-line barriers + 1 trailing fence
+  EXPECT_EQ(Stats().flush_lines, 8u);
+  EXPECT_EQ(Stats().fences, 8u);
+}
+
+TEST(Persist, StrictPersistencySingleTrailingFence) {
+  PmConfigGuard guard;
+  SetConfig(Config{});
+  alignas(64) char buf[512] = {};
+  ResetStats();
+  Persist(buf, 512);
+  EXPECT_EQ(Stats().flush_lines, 8u);
+  EXPECT_EQ(Stats().fences, 1u);
+}
+
+TEST(Persist, RelaxedSingleLineCostsNothingExtra) {
+  PmConfigGuard guard;
+  Config cfg;
+  cfg.persistency = Persistency::kRelaxed;
+  SetConfig(cfg);
+  alignas(64) char buf[64] = {};
+  ResetStats();
+  Persist(buf, 64);
+  EXPECT_EQ(Stats().fences, 1u);  // same as strict: within-line order free
+}
+
+TEST(Persist, ConfigRoundTrips) {
+  PmConfigGuard guard;
+  Config cfg;
+  cfg.write_latency_ns = 123;
+  cfg.read_latency_ns = 456;
+  cfg.barrier_ns = 789;
+  cfg.model = MemModel::kNonTso;
+  SetConfig(cfg);
+  const Config got = GetConfig();
+  EXPECT_EQ(got.write_latency_ns, 123u);
+  EXPECT_EQ(got.read_latency_ns, 456u);
+  EXPECT_EQ(got.barrier_ns, 789u);
+  EXPECT_EQ(got.model, MemModel::kNonTso);
+}
+
+}  // namespace
+}  // namespace fastfair::pm

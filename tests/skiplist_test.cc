@@ -1,0 +1,158 @@
+// Tests for the persistent skip list baseline: bottom-level commit
+// semantics, logical deletion, index rebuild (recovery), concurrency, and
+// model equivalence.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/skiplist/skiplist.h"
+#include "common/rng.h"
+
+namespace fastfair::baselines {
+namespace {
+
+TEST(SkipList, EmptyList) {
+  pm::Pool pool(64 << 20);
+  SkipList t(&pool);
+  EXPECT_EQ(t.Search(1), kNoValue);
+  EXPECT_FALSE(t.Remove(1));
+  EXPECT_EQ(t.CountEntries(), 0u);
+}
+
+TEST(SkipList, InsertSearchRemove) {
+  pm::Pool pool(64 << 20);
+  SkipList t(&pool);
+  t.Insert(5, 50);
+  t.Insert(1, 10);
+  t.Insert(9, 90);
+  EXPECT_EQ(t.Search(1), 10u);
+  EXPECT_EQ(t.Search(5), 50u);
+  EXPECT_EQ(t.Search(9), 90u);
+  EXPECT_EQ(t.Search(4), kNoValue);
+  EXPECT_TRUE(t.Remove(5));
+  EXPECT_EQ(t.Search(5), kNoValue);
+  EXPECT_FALSE(t.Remove(5));  // double delete
+  EXPECT_EQ(t.CountEntries(), 2u);
+}
+
+TEST(SkipList, UpsertResurrectsDeleted) {
+  pm::Pool pool(64 << 20);
+  SkipList t(&pool);
+  t.Insert(3, 30);
+  EXPECT_TRUE(t.Remove(3));
+  t.Insert(3, 31);  // resurrect the tombstoned node
+  EXPECT_EQ(t.Search(3), 31u);
+  EXPECT_EQ(t.CountEntries(), 1u);
+}
+
+TEST(SkipList, ModelEquivalence) {
+  pm::Pool pool(512 << 20);
+  SkipList t(&pool);
+  std::map<Key, Value> model;
+  Rng rng(43);
+  for (int i = 0; i < 50000; ++i) {
+    const Key k = rng.NextBounded(25000) + 1;
+    if (rng.NextBounded(5) == 0) {
+      const bool in_model = model.erase(k) > 0;
+      ASSERT_EQ(t.Remove(k), in_model);
+    } else {
+      const Value v = k * 11 + 1;
+      t.Insert(k, v);
+      model[k] = v;
+    }
+  }
+  for (const auto& [k, v] : model) ASSERT_EQ(t.Search(k), v);
+  ASSERT_EQ(t.CountEntries(), model.size());
+}
+
+TEST(SkipList, ScanSkipsTombstones) {
+  pm::Pool pool(256 << 20);
+  SkipList t(&pool);
+  for (Key k = 1; k <= 1000; ++k) t.Insert(k, k + 1);
+  for (Key k = 2; k <= 1000; k += 2) t.Remove(k);
+  std::vector<core::Record> out(100);
+  const std::size_t n = t.Scan(100, out.size(), out.data());
+  ASSERT_EQ(n, 100u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].key % 2, 1u) << "tombstone leaked";
+    EXPECT_EQ(out[i].key, 101 + 2 * i);
+  }
+}
+
+TEST(SkipList, RebuildIndexPreservesContents) {
+  pm::Pool pool(256 << 20);
+  SkipList t(&pool);
+  Rng rng(47);
+  std::map<Key, Value> model;
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = rng.Next() | 1;
+    t.Insert(k, k + 5);
+    model[k] = k + 5;
+  }
+  t.RebuildIndex();  // crash recovery: express lanes rebuilt from level 0
+  for (const auto& [k, v] : model) ASSERT_EQ(t.Search(k), v);
+  t.Insert(2, 22);  // still writable
+  EXPECT_EQ(t.Search(2), 22u);
+}
+
+TEST(SkipList, InsertCommitIsOneFlushPlusNode) {
+  pm::Pool pool(64 << 20);
+  SkipList t(&pool);
+  t.Insert(100, 1);
+  pm::ResetStats();
+  const auto before = pm::Stats();
+  t.Insert(50, 2);
+  const auto delta = pm::Stats() - before;
+  // Node persist (1-2 lines for the tower) + predecessor link flush.
+  EXPECT_LE(delta.flush_lines, 5u);
+  EXPECT_GE(delta.flush_lines, 2u);
+}
+
+TEST(SkipList, ConcurrentDisjointInserts) {
+  pm::Pool pool(1u << 30);
+  SkipList t(&pool);
+  constexpr int kThreads = 6, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Key k = (static_cast<Key>(tid) << 40) | static_cast<Key>(i + 1);
+        t.Insert(k, k + 1);
+        if ((i & 31) == 0 && t.Search(k) != k + 1) failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(t.CountEntries(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(SkipList, ConcurrentSameRangeInsertsAllSurvive) {
+  // Heavy CAS contention on the same predecessors.
+  pm::Pool pool(1u << 30);
+  SkipList t(&pool);
+  constexpr int kThreads = 8, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Key k = static_cast<Key>(i * kThreads + tid + 1);
+        t.Insert(k, k * 2 + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.CountEntries(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (Key k = 1; k <= kThreads * kPerThread; k += 101) {
+    ASSERT_EQ(t.Search(k), k * 2 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace fastfair::baselines

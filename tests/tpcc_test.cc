@@ -1,0 +1,144 @@
+// Tests for the TPC-C substrate: population sizes, per-transaction
+// semantics, mix arithmetic, and cross-index determinism (same seed + same
+// mix must commit the same transactions regardless of the index used).
+
+#include <gtest/gtest.h>
+
+#include "tpcc/driver.h"
+
+namespace fastfair::tpcc {
+namespace {
+
+Config SmallConfig() {
+  Config cfg;
+  cfg.warehouses = 1;
+  cfg.districts_per_wh = 4;
+  cfg.customers_per_district = 50;
+  cfg.items = 500;
+  cfg.initial_orders_per_district = 50;
+  return cfg;
+}
+
+TEST(TpccDb, PopulationCountsMatchSpecScaling) {
+  pm::Pool pool(1u << 30);
+  const Config cfg = SmallConfig();
+  Db db("fastfair", cfg, &pool);
+  std::vector<core::Record> buf(100000);
+  EXPECT_EQ(db.warehouse().Scan(0, buf.size(), buf.data()), cfg.warehouses);
+  EXPECT_EQ(db.item().Scan(0, buf.size(), buf.data()), cfg.items);
+  EXPECT_EQ(db.stock().Scan(0, buf.size(), buf.data()),
+            cfg.items * cfg.warehouses);
+  EXPECT_EQ(db.customer().Scan(0, buf.size(), buf.data()),
+            static_cast<std::size_t>(cfg.warehouses) * cfg.districts_per_wh *
+                cfg.customers_per_district);
+  EXPECT_EQ(db.order().Scan(0, buf.size(), buf.data()),
+            static_cast<std::size_t>(cfg.warehouses) * cfg.districts_per_wh *
+                cfg.initial_orders_per_district);
+  // ~30% of initial orders are undelivered.
+  const std::size_t newords = db.neworder().Scan(0, buf.size(), buf.data());
+  const std::size_t total_orders =
+      static_cast<std::size_t>(cfg.warehouses) * cfg.districts_per_wh *
+      cfg.initial_orders_per_district;
+  EXPECT_NEAR(static_cast<double>(newords),
+              static_cast<double>(total_orders) * 0.3,
+              static_cast<double>(total_orders) * 0.05);
+}
+
+TEST(TpccTxn, NewOrderAdvancesDistrictSequenceAndInsertsRows) {
+  pm::Pool pool(1u << 30);
+  Db db("fastfair", SmallConfig(), &pool);
+  std::vector<core::Record> buf(100000);
+  const std::size_t orders0 = db.order().Scan(0, buf.size(), buf.data());
+  const std::size_t lines0 = db.orderline().Scan(0, buf.size(), buf.data());
+  Rng rng(1);
+  int committed = 0;
+  for (int i = 0; i < 50; ++i) committed += RunNewOrder(db, rng);
+  EXPECT_GT(committed, 40);  // ~1% aborts
+  const std::size_t orders1 = db.order().Scan(0, buf.size(), buf.data());
+  const std::size_t lines1 = db.orderline().Scan(0, buf.size(), buf.data());
+  EXPECT_EQ(orders1 - orders0, static_cast<std::size_t>(committed));
+  EXPECT_GE(lines1 - lines0, static_cast<std::size_t>(committed) * 5);
+  EXPECT_LE(lines1 - lines0, static_cast<std::size_t>(50) * 15);
+}
+
+TEST(TpccTxn, PaymentUpdatesBalances) {
+  pm::Pool pool(1u << 30);
+  Db db("fastfair", SmallConfig(), &pool);
+  auto* w = Db::Row<WarehouseRow>(db.warehouse().Search(WarehouseKey(0)));
+  const double ytd0 = w->w_ytd;
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(RunPayment(db, rng));
+  EXPECT_GT(w->w_ytd, ytd0);
+}
+
+TEST(TpccTxn, DeliveryDrainsNewOrders) {
+  pm::Pool pool(1u << 30);
+  Db db("fastfair", SmallConfig(), &pool);
+  std::vector<core::Record> buf(100000);
+  const std::size_t no0 = db.neworder().Scan(0, buf.size(), buf.data());
+  ASSERT_GT(no0, 0u);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(RunDelivery(db, rng));
+  const std::size_t no1 = db.neworder().Scan(0, buf.size(), buf.data());
+  EXPECT_LT(no1, no0);  // orders were delivered and removed
+}
+
+TEST(TpccTxn, OrderStatusAndStockLevelRunReadOnly) {
+  pm::Pool pool(1u << 30);
+  Db db("fastfair", SmallConfig(), &pool);
+  std::vector<core::Record> buf(100000);
+  const std::size_t orders0 = db.order().Scan(0, buf.size(), buf.data());
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(RunOrderStatus(db, rng));
+    EXPECT_TRUE(RunStockLevel(db, rng));
+  }
+  EXPECT_EQ(db.order().Scan(0, buf.size(), buf.data()), orders0);
+}
+
+TEST(TpccDriver, PaperMixesSumTo100) {
+  for (const auto& mix : PaperMixes()) {
+    int sum = 0;
+    for (const int p : mix.pct) sum += p;
+    EXPECT_EQ(sum, 100) << mix.name;
+  }
+  EXPECT_EQ(PaperMixes()[0].name, "W1");
+  EXPECT_EQ(PaperMixes()[3].name, "W4");
+  // Read share (Order-Status) grows monotonically W1 -> W4.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GT(PaperMixes()[static_cast<std::size_t>(i)].pct[2],
+              PaperMixes()[static_cast<std::size_t>(i - 1)].pct[2]);
+  }
+}
+
+TEST(TpccDriver, RunMixExecutesAllTransactions) {
+  pm::Pool pool(1u << 30);
+  Db db("fastfair", SmallConfig(), &pool);
+  const auto r = RunMix(db, PaperMixes()[0], 500, 77);
+  EXPECT_EQ(r.committed + r.aborted, 500u);
+  EXPECT_GT(r.committed, 450u);
+  EXPECT_GT(r.Kops(), 0.0);
+}
+
+class TpccCrossIndex : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TpccCrossIndex, SameSeedSameCommitCount) {
+  // The committed/aborted split depends only on the op stream, not on the
+  // index implementation: a strong end-to-end differential check.
+  pm::Pool pool(3u << 30);
+  Db db(GetParam(), SmallConfig(), &pool);
+  const auto r = RunMix(db, PaperMixes()[1], 400, 123);
+  pm::Pool pool_ref(3u << 30);
+  Db ref("blink", SmallConfig(), &pool_ref);
+  const auto rr = RunMix(ref, PaperMixes()[1], 400, 123);
+  EXPECT_EQ(r.committed, rr.committed);
+  EXPECT_EQ(r.aborted, rr.aborted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, TpccCrossIndex,
+                         ::testing::Values("fastfair", "wbtree", "fptree",
+                                           "wort", "skiplist"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace fastfair::tpcc
