@@ -37,8 +37,9 @@ int main(int argc, char** argv) {
   pmcfg.read_latency_ns = 300;
   pmcfg.write_latency_ns = 300;
 
-  const std::vector<std::string> kinds = {"fastfair", "fptree", "wbtree",
-                                          "wort", "skiplist"};
+  const std::vector<std::string> kinds = {"fastfair", opt.ShardedKind(),
+                                          "fptree", "wbtree", "wort",
+                                          "skiplist"};
   std::printf(
       "Figure 6: TPC-C throughput (Kops/sec committed txns), %u warehouses, "
       "%zu txns per mix, PM latency 300/300 ns\n",

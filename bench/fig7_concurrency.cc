@@ -85,10 +85,13 @@ int main(int argc, char** argv) {
       "300ns\nNOTE: this host has limited cores; see EXPERIMENTS.md.\n",
       preload_n);
 
+  // The sharded kind (per-thread arenas + range-partitioned trees) rides
+  // along in every workload; --shards selects its shard count.
   const std::vector<std::string> search_kinds = {
-      "fastfair", "fastfair-leaflock", "fptree", "blink", "skiplist"};
-  const std::vector<std::string> insert_kinds = {"fastfair", "fptree",
-                                                 "blink", "skiplist"};
+      "fastfair", "fastfair-leaflock", opt.ShardedKind(), "fptree", "blink",
+      "skiplist"};
+  const std::vector<std::string> insert_kinds = {
+      "fastfair", opt.ShardedKind(), "fptree", "blink", "skiplist"};
 
   bench::Table table({"workload", "index", "threads", "Kops_per_sec"});
   for (const auto& kind : search_kinds) {

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "index/sharded.h"  // kMaxShards
+
 namespace fastfair::bench {
 
 std::size_t Options::ScaledN(std::size_t paper_n) const {
@@ -13,6 +15,10 @@ std::size_t Options::ScaledN(std::size_t paper_n) const {
   if (scale == "small") return paper_n / 20;  // e.g. 10 M -> 500 K
   if (scale == "ci") return paper_n / 200;    // e.g. 10 M -> 50 K
   throw std::invalid_argument("unknown --scale: " + scale);
+}
+
+std::string Options::ShardedKind() const {
+  return "sharded-fastfair:" + std::to_string(shards);
 }
 
 Options ParseOptions(int argc, char** argv) {
@@ -29,6 +35,12 @@ Options ParseOptions(int argc, char** argv) {
       o.n_override = std::strtoull(v, nullptr, 10);
     } else if (const char* v = val("--seed=")) {
       o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--shards=")) {
+      o.shards = std::strtoull(v, nullptr, 10);
+      if (o.shards == 0 || o.shards > kMaxShards) {
+        std::fprintf(stderr, "--shards must be in [1, %zu]\n", kMaxShards);
+        std::exit(2);
+      }
     } else if (const char* v = val("--threads=")) {
       o.threads.clear();
       const char* p = v;
@@ -42,8 +54,8 @@ Options ParseOptions(int argc, char** argv) {
       o.csv = true;
     } else if (a == "--help" || a == "-h") {
       std::printf(
-          "options: --scale=ci|small|paper --n=N --threads=1,2,4 --csv "
-          "--seed=S\n");
+          "options: --scale=ci|small|paper --n=N --threads=1,2,4 "
+          "--shards=S --csv --seed=S\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());

@@ -5,6 +5,7 @@
 //                            sizes in the publication, hours on one core)
 //   --n=<count>              explicit dataset size override
 //   --threads=<list>         comma-separated thread counts (Fig 7)
+//   --shards=<count>         shard count for the sharded-fastfair kind
 //   --csv                    machine-readable output
 //   --seed=<u64>             workload seed
 
@@ -20,11 +21,15 @@ struct Options {
   std::string scale = "small";
   std::size_t n_override = 0;
   std::vector<int> threads;
+  std::size_t shards = 8;  // sharded-fastfair shard count
   bool csv = false;
   std::uint64_t seed = 20180213;  // FAST'18 opening day
 
   /// Dataset size for a microbench whose paper-scale count is `paper_n`.
   std::size_t ScaledN(std::size_t paper_n) const;
+
+  /// The sharded index kind string for --shards, e.g. "sharded-fastfair:8".
+  std::string ShardedKind() const;
 };
 
 Options ParseOptions(int argc, char** argv);

@@ -146,6 +146,10 @@ class BTreeT {
   }
   bool CasRoot(NodeT* expected, NodeT* desired);
 
+  /// Node allocation goes through the pool's per-thread arena path
+  /// (pm/pool.h): concurrent writers splitting leaves never contend on the
+  /// global bump offset. crashsim intercepts these allocations via
+  /// Pool::SetAllocHook (see crashsim::SimMem::InterceptPool).
   NodeT* AllocNode(std::uint16_t level);
 
   /// Lock-free descent to the leaf whose range covers `key`.

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "pm/pool.h"
+
 namespace fastfair::crashsim {
 
 void SimMem::Adopt(const void* base, std::size_t len) {
@@ -17,6 +19,14 @@ void SimMem::Adopt(const void* base, std::size_t len) {
     initial_[a + i * 8] = words[i];
     cache_[a + i * 8] = words[i];
   }
+}
+
+void SimMem::InterceptPool(pm::Pool& pool) {
+  pool.SetAllocHook(
+      [](void* ctx, void* p, std::size_t size) {
+        static_cast<SimMem*>(ctx)->Adopt(p, AlignUp(size, 8));
+      },
+      this);
 }
 
 void SimMem::Store64(void* addr, std::uint64_t value) {

@@ -39,6 +39,10 @@
 #include "common/defs.h"
 #include "common/rng.h"
 
+namespace fastfair::pm {
+class Pool;  // pm/pool.h; only referenced, keeping this header pm-free
+}
+
 namespace fastfair::crashsim {
 
 /// One logged event.
@@ -60,6 +64,13 @@ class SimMem {
   /// Registers [base, base+len) with its current content as the persistent
   /// initial state. Must be 8-byte aligned.
   void Adopt(const void* base, std::size_t len);
+
+  /// Installs this simulator as `pool`'s allocation hook: every subsequent
+  /// allocation (arena or direct) is Adopt()ed automatically, so node_ops
+  /// driven through SimMem can allocate from a real Pool — splits included —
+  /// without stepping outside the simulated-PM domain. The pool must outlive
+  /// the simulator or have the hook cleared first.
+  void InterceptPool(pm::Pool& pool);
 
   /// Memory-policy interface used by core/node_ops.h -------------------------
   void Store64(void* addr, std::uint64_t value);

@@ -1,6 +1,7 @@
 #include "index/index.h"
 
 #include <stdexcept>
+#include <vector>
 
 #include "baselines/blink/blink.h"
 #include "baselines/fptree/fptree.h"
@@ -8,6 +9,7 @@
 #include "baselines/wbtree/wbtree.h"
 #include "baselines/wort/wort.h"
 #include "core/btree.h"
+#include "index/sharded.h"
 
 namespace fastfair {
 namespace {
@@ -30,6 +32,13 @@ class Wrap final : public Index {
   }
   std::string_view name() const override { return name_; }
   bool supports_concurrency() const override { return concurrent_; }
+  std::size_t CountEntries() const override {
+    if constexpr (requires { impl_.CountEntries(); }) {
+      return impl_.CountEntries();
+    } else {
+      return Index::CountEntries();
+    }
+  }
 
  private:
   T impl_;
@@ -98,13 +107,35 @@ std::unique_ptr<Index> MakeIndex(std::string_view kind, pm::Pool* pool) {
   if (kind == "blink") {
     return std::make_unique<Wrap<baselines::BLink>>("blink", true);
   }
+  if (const std::size_t shards = TryParseShardedKind(kind); shards != 0) {
+    return std::make_unique<ShardedIndex>(
+        std::string(kind), shards,
+        [pool](std::size_t) { return MakeIndex("fastfair", pool); });
+  }
   throw std::invalid_argument("unknown index kind: " + std::string(kind));
 }
 
 std::vector<std::string> AllIndexKinds() {
   return {"fastfair", "fastfair-leaflock", "fastfair-logging",
           "fastfair-binary", "fastfair-1k", "wbtree", "fptree", "wort",
-          "skiplist", "blink"};
+          "skiplist", "blink", "sharded-fastfair"};
+}
+
+std::size_t Index::CountEntries() const {
+  // Batched full scan; correct for any implementation whose Scan returns
+  // ascending keys. Restarts one past the last key seen.
+  constexpr std::size_t kBatch = 1024;
+  std::vector<core::Record> buf(kBatch);
+  std::size_t total = 0;
+  Key next = 0;
+  for (;;) {
+    const std::size_t n = Scan(next, kBatch, buf.data());
+    total += n;
+    if (n < kBatch) return total;
+    const Key last = buf[n - 1].key;
+    if (last == ~Key{0}) return total;  // key space exhausted
+    next = last + 1;
+  }
 }
 
 }  // namespace fastfair

@@ -11,6 +11,9 @@
 //   wort                WORT write-optimal radix tree                [32]
 //   skiplist            persistent skip list                         [33]
 //   blink               volatile B-link tree (concurrency reference) [29]
+//   sharded-fastfair    N range-partitioned FAST+FAIR trees (index/sharded.h);
+//                       "sharded-fastfair:N" selects the shard count
+//                       (default 8)
 
 #pragma once
 
@@ -47,6 +50,11 @@ class Index {
 
   /// True when concurrent callers are supported (Fig 7 set).
   virtual bool supports_concurrency() const { return false; }
+
+  /// Total live entries. Quiescent-state helper for tests and examples; the
+  /// default walks the index with batched Scans, adapters with a native
+  /// counter override it.
+  virtual std::size_t CountEntries() const;
 };
 
 /// Factory over the registry above; throws std::invalid_argument for an

@@ -1,0 +1,88 @@
+#include "index/sharded.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace fastfair {
+
+namespace {
+constexpr std::string_view kShardedPrefix = "sharded-fastfair";
+constexpr std::size_t kDefaultShards = 8;
+}  // namespace
+
+std::size_t TryParseShardedKind(std::string_view kind) {
+  if (kind.substr(0, kShardedPrefix.size()) != kShardedPrefix) return 0;
+  if (kind.size() == kShardedPrefix.size()) return kDefaultShards;
+  if (kind[kShardedPrefix.size()] != ':') return 0;  // e.g. "...fairy"
+  const std::string_view suffix = kind.substr(kShardedPrefix.size() + 1);
+  std::size_t shards = 0;
+  const auto [end, ec] =
+      std::from_chars(suffix.data(), suffix.data() + suffix.size(), shards);
+  if (ec != std::errc{} || end != suffix.data() + suffix.size() ||
+      shards == 0 || shards > kMaxShards) {
+    throw std::invalid_argument("bad shard count in index kind: " +
+                                std::string(kind));
+  }
+  return shards;
+}
+
+void ShardedIndex::BuildShards(std::size_t num_shards,
+                               const ShardFactory& make) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedIndex: num_shards must be > 0");
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(make(s));
+    if (!shards_.back()->supports_concurrency()) concurrent_ = false;
+  }
+}
+
+ShardedIndex::ShardedIndex(std::string name, std::size_t num_shards,
+                           const ShardFactory& make)
+    : name_(std::move(name)) {
+  BuildShards(num_shards, make);
+}
+
+ShardedIndex::ShardedIndex(std::string name, std::vector<Key> boundaries,
+                           const ShardFactory& make)
+    : boundaries_(std::move(boundaries)), name_(std::move(name)) {
+  if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+    throw std::invalid_argument("ShardedIndex: boundaries must be sorted");
+  }
+  BuildShards(boundaries_.size() + 1, make);
+}
+
+void ShardedIndex::Insert(Key key, Value value) {
+  shards_[ShardOf(key)]->Insert(key, value);
+}
+
+bool ShardedIndex::Remove(Key key) {
+  return shards_[ShardOf(key)]->Remove(key);
+}
+
+Value ShardedIndex::Search(Key key) const {
+  return shards_[ShardOf(key)]->Search(key);
+}
+
+std::size_t ShardedIndex::Scan(Key min_key, std::size_t max_results,
+                               core::Record* out) const {
+  // Shards are ordered ranges: walking them in index order and concatenating
+  // the per-shard (sorted) results yields a globally sorted scan. Every key
+  // in a shard past the first is >= that shard's range floor > min_key.
+  std::size_t total = 0;
+  const std::size_t first = ShardOf(min_key);
+  for (std::size_t s = first; s < shards_.size() && total < max_results; ++s) {
+    total += shards_[s]->Scan(s == first ? min_key : Key{0},
+                              max_results - total, out + total);
+  }
+  return total;
+}
+
+std::size_t ShardedIndex::CountEntries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->CountEntries();
+  return total;
+}
+
+}  // namespace fastfair

@@ -1,0 +1,98 @@
+// Range-sharded index adapter: the horizontal-scaling tier above any single
+// Index implementation.
+//
+// The 64-bit key space is split into N contiguous ranges (fixed-point
+// multiply: shard(k) = floor(k * N / 2^64)), one sub-index per range, all
+// living in the same pm::Pool.  Range partitioning — not hashing — is what
+// keeps Scan() cheap: each shard's keys are strictly greater than every key
+// of the shard before it, so a cross-shard scan is the plain concatenation
+// of per-shard scans, globally sorted with no merge step.
+//
+// What sharding buys on top of the per-thread arena allocator (pm/pool.h):
+// concurrent writers to *different* key ranges touch disjoint trees, so they
+// share neither node locks nor split paths; with uniform keys, contention on
+// the hottest structure (the root's children) drops by ~N.  The adapter is
+// structure-agnostic — MakeIndex registers it over FAST+FAIR as
+// "sharded-fastfair[:N]" (default 8 shards), but any factory works.
+//
+// Uniform-range partitioning is the paper-faithful choice for the uniform
+// benchmark workloads; skewed workloads would want weighted boundaries or
+// hash sharding (ROADMAP open item).
+
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace fastfair {
+
+/// Upper bound on the shard count accepted by the registry (and by the
+/// benches' --shards flag).
+inline constexpr std::size_t kMaxShards = 1024;
+
+/// The one parser for the sharded kind grammar: returns the shard count for
+/// "sharded-fastfair" (default 8) or "sharded-fastfair:N"; returns 0 when
+/// `kind` does not name the sharded adapter at all; throws
+/// std::invalid_argument for a malformed or out-of-range count.
+std::size_t TryParseShardedKind(std::string_view kind);
+
+class ShardedIndex final : public Index {
+ public:
+  /// Builds sub-index number `shard` (0-based). All shards should be of the
+  /// same kind; Scan correctness only needs each to return sorted results.
+  using ShardFactory = std::function<std::unique_ptr<Index>(std::size_t)>;
+
+  /// Equal-width partition of the full [0, 2^64) key space into
+  /// `num_shards` ranges. Throws std::invalid_argument when zero.
+  ShardedIndex(std::string name, std::size_t num_shards,
+               const ShardFactory& make);
+
+  /// Explicit range boundaries for keys that occupy only a slice of the
+  /// 2^64 space (e.g. TPC-C's packed composite keys, src/tpcc/db.cc):
+  /// `boundaries[i]` is the first key of shard i+1, non-decreasing; shard
+  /// count = boundaries.size() + 1. Throws std::invalid_argument when the
+  /// boundaries are not sorted.
+  ShardedIndex(std::string name, std::vector<Key> boundaries,
+               const ShardFactory& make);
+
+  void Insert(Key key, Value value) override;
+  bool Remove(Key key) override;
+  Value Search(Key key) const override;
+  std::size_t Scan(Key min_key, std::size_t max_results,
+                   core::Record* out) const override;
+  std::size_t CountEntries() const override;
+
+  std::string_view name() const override { return name_; }
+  /// True iff every shard supports concurrent callers (operations on one
+  /// key never touch more than its own shard).
+  bool supports_concurrency() const override { return concurrent_; }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Monotonic in `key`: explicit boundaries when configured, otherwise the
+  /// equal-width fixed-point partition of [0, 2^64).
+  std::size_t ShardOf(Key key) const {
+    if (!boundaries_.empty()) {
+      return static_cast<std::size_t>(
+          std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
+          boundaries_.begin());
+    }
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(key) * shards_.size()) >> 64);
+  }
+
+ private:
+  void BuildShards(std::size_t num_shards, const ShardFactory& make);
+
+  std::vector<std::unique_ptr<Index>> shards_;
+  std::vector<Key> boundaries_;  // empty => uniform fixed-point partition
+  std::string name_;
+  bool concurrent_ = true;
+};
+
+}  // namespace fastfair

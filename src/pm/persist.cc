@@ -84,6 +84,10 @@ ThreadStats& ThreadStats::operator-=(const ThreadStats& o) {
   read_annotations -= o.read_annotations;
   flush_ns -= o.flush_ns;
   allocs -= o.allocs;
+  alloc_bytes -= o.alloc_bytes;
+  arena_refills -= o.arena_refills;
+  frees -= o.frees;
+  free_bytes -= o.free_bytes;
   return *this;
 }
 

@@ -71,6 +71,10 @@ struct ThreadStats {
   std::uint64_t read_annotations = 0;  // PM node visits charged read latency
   std::uint64_t flush_ns = 0;          // wall time inside Clflush/Persist
   std::uint64_t allocs = 0;            // PM pool allocations
+  std::uint64_t alloc_bytes = 0;       // bytes handed out to this thread
+  std::uint64_t arena_refills = 0;     // arena chunk reservations (global CAS)
+  std::uint64_t frees = 0;             // Pool::Free calls from this thread
+  std::uint64_t free_bytes = 0;        // bytes this thread logically freed
 
   ThreadStats& operator-=(const ThreadStats& o);
   ThreadStats operator-(const ThreadStats& o) const;

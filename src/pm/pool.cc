@@ -16,6 +16,29 @@ namespace fastfair::pm {
 
 namespace {
 constexpr std::uint64_t kMagic = 0xfa57fa1242ull;  // "fastfair" pool
+constexpr std::size_t kNoSpace = static_cast<std::size_t>(-1);
+constexpr std::size_t kMinChunk = 4096;  // below this, arenas are off
+
+// Process-unique pool ids: an arena slot stamped with a dead pool's id can
+// never be revived by a new Pool constructed at the same address.
+std::atomic<std::uint64_t> g_next_pool_id{1};
+
+// Thread-local arena cache. A few slots so a thread alternating between
+// pools (common in tests and benches that build one index per pool) keeps
+// its partially-used chunks instead of abandoning them on every switch.
+struct ArenaSlot {
+  std::uint64_t pool_id = 0;
+  std::uint64_t epoch = 0;
+  char* cur = nullptr;
+  char* end = nullptr;
+};
+constexpr int kArenaSlots = 4;
+thread_local ArenaSlot t_arenas[kArenaSlots];
+
+char* AlignPtrUp(char* p, std::size_t align) {
+  return reinterpret_cast<char*>(
+      AlignUp(reinterpret_cast<std::uintptr_t>(p), align));
+}
 }  // namespace
 
 // The header occupies the first cache line(s) of the mapping so that the bump
@@ -31,10 +54,18 @@ struct Pool::Header {
 };
 
 Pool::Pool(const Options& opts)
-    : capacity_(opts.capacity), persist_meta_(opts.persist_metadata) {
+    : capacity_(opts.capacity),
+      id_(g_next_pool_id.fetch_add(1, std::memory_order_relaxed)),
+      persist_meta_(opts.persist_metadata) {
   if (capacity_ < 2 * kCacheLineSize) {
     throw std::invalid_argument("pool capacity too small");
   }
+  // Arenas make sense only when the pool comfortably fits several chunks;
+  // otherwise fall back to the exact direct path (tiny test pools).
+  chunk_size_ = opts.arena_chunk;
+  if (chunk_size_ > capacity_ / 8) chunk_size_ = capacity_ / 8;
+  chunk_size_ &= ~(kCacheLineSize - 1);
+  if (chunk_size_ < kMinChunk) chunk_size_ = 0;
   if (opts.file_path.empty()) {
     base_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
@@ -88,6 +119,13 @@ Pool::Pool(const Options& opts)
 }
 
 Pool::~Pool() {
+  // Release this thread's cached chunk so the slot does not sit "fresh but
+  // dead" and block eviction (id uniqueness already protects correctness;
+  // slots cached by *other* threads age out via the eviction guard's
+  // half-used threshold or stay as a harmless direct-path fallback).
+  for (auto& s : t_arenas) {
+    if (s.pool_id == id_) s = ArenaSlot{};
+  }
   if (base_ != nullptr && base_ != MAP_FAILED) {
     if (file_backed_) ::msync(base_, capacity_, MS_SYNC);
     ::munmap(base_, capacity_);
@@ -102,29 +140,104 @@ Pool& Pool::Global() {
   return pool;
 }
 
-void* Pool::Alloc(std::size_t size, std::size_t align) {
-  if (align < 8) align = 8;
+std::size_t Pool::ReserveGlobal(std::size_t size, std::size_t align,
+                                bool nothrow) {
   auto* h = header();
   std::uint64_t cur = h->used.load(std::memory_order_relaxed);
   std::uint64_t start, next;
   do {
     start = AlignUp(cur, align);
     next = start + size;
-    if (next > capacity_) throw std::bad_alloc();
+    if (next > capacity_) {
+      if (nothrow) return kNoSpace;
+      throw std::bad_alloc();
+    }
   } while (!h->used.compare_exchange_weak(cur, next,
                                           std::memory_order_relaxed));
   if (persist_meta_) {
-    // Persist the bump offset: after a crash the allocator resumes past
-    // every allocation that any persisted pointer may reference.
+    // Persist the bump offset at reservation granularity: after a crash the
+    // allocator resumes past every byte any thread may have handed out.
     Clflush(&h->used);
   }
-  Stats().allocs += 1;
-  return static_cast<char*>(base_) + start;
+  return start;
+}
+
+void* Pool::ArenaAlloc(std::size_t size, std::size_t align) {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  ArenaSlot* slot = nullptr;
+  for (auto& s : t_arenas) {
+    if (s.pool_id == id_) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot != nullptr && slot->epoch == epoch) {
+    char* p = AlignPtrUp(slot->cur, align);
+    if (p + size <= slot->end) {
+      slot->cur = p + size;
+      return p;
+    }
+  }
+  if (slot == nullptr) {
+    // Evict the slot wasting the least (fewest bytes left in its chunk;
+    // empty slots have zero). If even that victim is mostly unused, this
+    // thread is thrashing across more live pools than there are slots —
+    // serve the request from the direct path instead of abandoning a
+    // nearly-fresh chunk per call, which bounds eviction waste at half a
+    // chunk instead of leaving it unbounded.
+    slot = &t_arenas[0];
+    for (auto& s : t_arenas) {
+      if (s.end - s.cur < slot->end - slot->cur) slot = &s;
+    }
+    if (static_cast<std::size_t>(slot->end - slot->cur) > chunk_size_ / 2) {
+      return nullptr;
+    }
+  }
+  // Refill: one CAS on the global offset reserves a whole chunk. On a full
+  // pool fall back to the direct path, which can still satisfy requests
+  // smaller than a chunk from the remaining tail.
+  const std::size_t off = ReserveGlobal(chunk_size_, kCacheLineSize, true);
+  if (off == kNoSpace) return nullptr;
+  // The abandoned tail of the previous chunk (if any) stays unreferenced;
+  // that waste is the price of contention-free allocation.
+  slot->pool_id = id_;
+  slot->epoch = epoch;
+  slot->cur = static_cast<char*>(base_) + off;
+  slot->end = slot->cur + chunk_size_;
+  Stats().arena_refills += 1;
+  char* p = AlignPtrUp(slot->cur, align);  // fits: size + align <= chunk
+  slot->cur = p + size;
+  return p;
+}
+
+void* Pool::Alloc(std::size_t size, std::size_t align) {
+  if (align < 8) align = 8;
+  void* p = nullptr;
+  // Small blocks go through the per-thread arena; large ones (or any block
+  // when arenas are disabled) reserve directly from the global offset.
+  if (chunk_size_ != 0 && size <= chunk_size_ / 2 && align <= chunk_size_ / 2) {
+    p = ArenaAlloc(size, align);
+  }
+  if (p == nullptr) {
+    p = static_cast<char*>(base_) + ReserveGlobal(size, align, false);
+  }
+  auto& stats = Stats();
+  stats.allocs += 1;
+  stats.alloc_bytes += size;
+  if (hook_ != nullptr) hook_(hook_ctx_, p, size);
+  return p;
 }
 
 void Pool::Free(void* p, std::size_t size) noexcept {
   if (p == nullptr) return;
+  // One shared atomic, not an arena-local counter: a block is routinely
+  // freed by a thread other than the one whose arena allocated it, and
+  // per-thread freed tallies would silently drop those bytes when the
+  // freeing thread exits. ThreadStats records the per-thread view.
   header()->freed.fetch_add(size, std::memory_order_relaxed);
+  auto& stats = Stats();
+  stats.frees += 1;
+  stats.free_bytes += size;
 }
 
 void Pool::SetRoot(const void* p) {
@@ -149,6 +262,13 @@ std::size_t Pool::freed_bytes() const {
 
 void Pool::Reset() {
   auto* h = header();
+  // Invalidate every thread's cached chunk before releasing the space; a
+  // stale arena would otherwise keep handing out memory past the reset
+  // offset. (Reset must still not race with in-flight allocation.)
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& s : t_arenas) {
+    if (s.pool_id == id_) s = ArenaSlot{};  // free this thread's slot now
+  }
   h->used.store(AlignUp(sizeof(Header), kCacheLineSize),
                 std::memory_order_relaxed);
   h->root.store(0, std::memory_order_relaxed);

@@ -1,7 +1,7 @@
 // Persistent memory pool: the `nv_malloc` substrate from the paper.
 //
-// A Pool is a contiguous mapped region carved out by a thread-safe bump
-// allocator.  Two flavours:
+// A Pool is a contiguous mapped region carved out by a scalable two-level
+// bump allocator.  Two flavours:
 //
 //  * Anonymous (DRAM-as-PM): what the paper's Quartz setup does; used by all
 //    benchmarks and most tests.
@@ -11,16 +11,33 @@
 //    so the pool header's stored root pointer stays valid across process
 //    restarts (see examples/kvstore.cc).
 //
-// Allocation metadata (the bump offset) lives in the pool header and is
-// persisted on every allocation; a crash can leak at most the allocation in
-// flight, which matches the paper's recovery story (leaked nodes are garbage
-// that no tree pointer references).  Free() is a statistics-only no-op: the
-// paper's trees never free nodes except logically (lazy merge), and a real PM
-// allocator (e.g. a per-size-class free list) is orthogonal to the algorithms
-// under study.
+// Allocation path (DESIGN.md §3): the pool header holds a single global bump
+// offset, but threads do not contend on it per allocation.  Each thread
+// reserves an *arena chunk* (Options::arena_chunk, default 1 MiB) from the
+// global offset with one CAS, then bump-allocates thread-locally with zero
+// shared-memory traffic until the chunk is exhausted.  Allocations larger
+// than half a chunk bypass the arena and hit the global offset directly;
+// pools too small for chunking (< 8 chunks) degrade to the direct path
+// entirely, so tiny test pools behave exactly like the original allocator.
+//
+// Crash story: with Options::persist_metadata the global offset is flushed at
+// *chunk-reservation* granularity — after a crash the allocator resumes past
+// every byte any thread may have handed out.  The unreachable tail of a
+// partially-used chunk is garbage that no persistent pointer references,
+// the same leak class as the original per-allocation design (just bounded
+// by chunk size per thread instead of one allocation); reachability is
+// still guaranteed by each structure's commit order.
+//
+// Free() remains a statistics-only no-op: the paper's trees never free nodes
+// except logically (lazy merge), and a real PM allocator (e.g. a per-size-
+// class free list) is orthogonal to the algorithms under study.  The freed
+// counter is a single shared atomic in the header — deliberately *not* an
+// arena-local counter — so frees issued by a thread other than the one whose
+// arena produced the block are never lost (see tests/pool_arena_test.cc).
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -37,7 +54,7 @@ class Pool {
     std::size_t capacity = std::size_t{1} << 32;  // 4 GiB virtual reservation
     std::string file_path;      // empty => anonymous (DRAM-as-PM)
     std::uintptr_t fixed_base = 0x5100'0000'0000ull;  // file-backed mapping base
-    // Persist the bump offset on every allocation. Off by default: the
+    // Persist the bump offset on every chunk reservation. Off by default: the
     // paper's evaluation (like its reference implementation) uses a
     // volatile allocator, and charging every index a flush per allocation
     // would skew the comparative flush counts the figures measure. Real
@@ -45,6 +62,11 @@ class Pool {
     // on; without it, a crash requires a GC pass to reclaim leaked blocks
     // (reachability is still guaranteed by each structure's commit order).
     bool persist_metadata = false;
+    // Per-thread arena chunk size (0 disables arenas; all allocations then
+    // CAS the global offset directly, the pre-arena behaviour). The
+    // effective chunk is capped at capacity/8 and disabled below 4 KiB so
+    // small pools keep exact accounting.
+    std::size_t arena_chunk = std::size_t{1} << 20;  // 1 MiB
   };
 
   explicit Pool(const Options& opts);
@@ -59,10 +81,12 @@ class Pool {
   static Pool& Global();
 
   /// Allocates `size` bytes aligned to `align` (power of two, >= 8).
+  /// Thread-safe and, for small blocks, contention-free (per-thread arena).
   /// Throws std::bad_alloc when the pool is exhausted.
   void* Alloc(std::size_t size, std::size_t align = kCacheLineSize);
 
-  /// Statistics-only free (arena allocator; see file comment).
+  /// Statistics-only free (arena allocator; see file comment). Safe to call
+  /// from any thread, including one other than the allocating thread.
   void Free(void* p, std::size_t size) noexcept;
 
   /// Constructs a T in pool memory. The object is never destroyed by the
@@ -71,6 +95,17 @@ class Pool {
   T* New(Args&&... args) {
     void* p = Alloc(sizeof(T), alignof(T) < 8 ? 8 : alignof(T));
     return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Observation hook: called after every successful Alloc with the block
+  /// address and requested size. Used by crashsim to Adopt() freshly
+  /// allocated node memory into a simulated-PM domain (and by tests to
+  /// audit the allocation stream). Install before sharing the pool between
+  /// threads; pass fn=nullptr to clear.
+  using AllocHook = void (*)(void* ctx, void* p, std::size_t size);
+  void SetAllocHook(AllocHook fn, void* ctx) {
+    hook_ctx_ = ctx;
+    hook_ = fn;
   }
 
   /// 8-byte root pointer slot in the pool header: set atomically + persisted.
@@ -82,9 +117,15 @@ class Pool {
   /// caller should recover via GetRoot() instead of building afresh.
   bool reopened() const { return reopened_; }
 
+  /// Bytes reserved from the region (header + arena chunks + direct blocks).
+  /// Grows at chunk granularity: small allocations served from a thread's
+  /// current arena chunk do not move it.
   std::size_t used() const;
   std::size_t capacity() const { return capacity_; }
   std::size_t freed_bytes() const;
+
+  /// Effective arena chunk size for this pool (0 = arenas disabled).
+  std::size_t chunk_size() const { return chunk_size_; }
 
   /// Returns true if `p` points inside this pool's mapping.
   bool Contains(const void* p) const {
@@ -93,8 +134,9 @@ class Pool {
     return a >= b && a < b + capacity_;
   }
 
-  /// Resets the bump pointer, discarding all allocations. Test helper; not
-  /// crash-consistent and must not race with allocation.
+  /// Resets the bump pointer, discarding all allocations and invalidating
+  /// every thread's cached arena chunk. Test helper; not crash-consistent
+  /// and must not race with allocation.
   void Reset();
 
  private:
@@ -102,8 +144,20 @@ class Pool {
 
   Header* header() const;
 
+  /// One CAS on the global bump offset. Returns the offset of the reserved
+  /// block, or SIZE_MAX when it does not fit and `nothrow` is set.
+  std::size_t ReserveGlobal(std::size_t size, std::size_t align, bool nothrow);
+
+  /// Thread-local arena fast path; nullptr when the request must go global.
+  void* ArenaAlloc(std::size_t size, std::size_t align);
+
   void* base_ = nullptr;
   std::size_t capacity_ = 0;
+  std::size_t chunk_size_ = 0;
+  std::uint64_t id_ = 0;  // process-unique; never reused across Pool objects
+  std::atomic<std::uint64_t> epoch_{0};  // bumped by Reset() to kill arenas
+  AllocHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
   bool file_backed_ = false;
   bool reopened_ = false;
   bool persist_meta_ = false;

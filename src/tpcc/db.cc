@@ -1,20 +1,62 @@
 #include "tpcc/db.h"
 
+#include <memory>
+#include <vector>
+
 #include "common/rng.h"
+#include "index/sharded.h"
 
 namespace fastfair::tpcc {
 
+namespace {
+
+// One TPC-C table index. TPC-C keys pack warehouse/district/... ids into a
+// tiny prefix of the 64-bit key space, so the registry's uniform range
+// partition would send every row to shard 0. For a sharded kind the Db
+// instead derives explicit boundaries from the table's own key encoding:
+// the leading dimension (warehouse id, or item id for ITEM) is cut into
+// `shards` groups via `first_key(group_start_id)`. With fewer leading ids
+// than shards some shards stay empty — inherent to range sharding.
+std::unique_ptr<Index> MakeTable(std::string_view kind, pm::Pool* pool,
+                                 std::uint32_t cardinality,
+                                 Key (*first_key)(std::uint32_t)) {
+  const std::size_t shards = TryParseShardedKind(kind);
+  if (shards == 0) return MakeIndex(kind, pool);
+  std::vector<Key> bounds;
+  bounds.reserve(shards - 1);
+  for (std::size_t s = 1; s < shards; ++s) {
+    bounds.push_back(first_key(static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(s) * cardinality / shards)));
+  }
+  return std::make_unique<ShardedIndex>(
+      std::string(kind), std::move(bounds),
+      [pool](std::size_t) { return MakeIndex("fastfair", pool); });
+}
+
+}  // namespace
+
 Db::Db(std::string_view kind, const Config& cfg, pm::Pool* pool)
     : cfg_(cfg), pool_(pool) {
-  warehouse_ = MakeIndex(kind, pool);
-  district_ = MakeIndex(kind, pool);
-  customer_ = MakeIndex(kind, pool);
-  item_ = MakeIndex(kind, pool);
-  stock_ = MakeIndex(kind, pool);
-  order_ = MakeIndex(kind, pool);
-  neworder_ = MakeIndex(kind, pool);
-  orderline_ = MakeIndex(kind, pool);
-  customer_order_ = MakeIndex(kind, pool);
+  const std::uint32_t W = cfg.warehouses;
+  warehouse_ = MakeTable(kind, pool, W,
+                         [](std::uint32_t w) { return WarehouseKey(w); });
+  district_ = MakeTable(kind, pool, W,
+                        [](std::uint32_t w) { return DistrictKey(w, 0); });
+  customer_ = MakeTable(kind, pool, W,
+                        [](std::uint32_t w) { return CustomerKey(w, 0, 0); });
+  item_ = MakeTable(kind, pool, cfg.items,
+                    [](std::uint32_t i) { return ItemKey(i); });
+  stock_ = MakeTable(kind, pool, W,
+                     [](std::uint32_t w) { return StockKey(w, 0); });
+  order_ = MakeTable(kind, pool, W,
+                     [](std::uint32_t w) { return OrderKey(w, 0, 0); });
+  neworder_ = MakeTable(kind, pool, W,
+                        [](std::uint32_t w) { return NewOrderKey(w, 0, 0); });
+  orderline_ = MakeTable(
+      kind, pool, W, [](std::uint32_t w) { return OrderLineKey(w, 0, 0, 0); });
+  customer_order_ = MakeTable(kind, pool, W, [](std::uint32_t w) {
+    return CustomerOrderKey(w, 0, 0, 0);
+  });
   Populate();
 }
 

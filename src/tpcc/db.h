@@ -25,7 +25,9 @@ struct Config {
 class Db {
  public:
   /// Builds and populates a TPC-C database whose every table is indexed by
-  /// an index of `kind` (see MakeIndex).
+  /// an index of `kind` (see MakeIndex). For a sharded kind the Db derives
+  /// per-table shard boundaries from the packed key encodings (db.cc), so
+  /// rows spread across shards despite the small key-space prefix.
   Db(std::string_view kind, const Config& cfg, pm::Pool* pool);
 
   const Config& config() const { return cfg_; }

@@ -38,6 +38,7 @@ TEST(IndexFactory, ConcurrencySupportFlags) {
   EXPECT_TRUE(MakeIndex("fptree", &pool)->supports_concurrency());
   EXPECT_TRUE(MakeIndex("skiplist", &pool)->supports_concurrency());
   EXPECT_TRUE(MakeIndex("blink", &pool)->supports_concurrency());
+  EXPECT_TRUE(MakeIndex("sharded-fastfair", &pool)->supports_concurrency());
   EXPECT_FALSE(MakeIndex("wbtree", &pool)->supports_concurrency());
   EXPECT_FALSE(MakeIndex("wort", &pool)->supports_concurrency());
 }
@@ -103,11 +104,12 @@ INSTANTIATE_TEST_SUITE_P(
     AllKinds, IndexDifferential,
     ::testing::Values("fastfair", "fastfair-leaflock", "fastfair-logging",
                       "fastfair-binary", "fastfair-1k", "wbtree", "fptree",
-                      "wort", "skiplist", "blink"),
+                      "wort", "skiplist", "blink", "sharded-fastfair",
+                      "sharded-fastfair:3"),
     [](const auto& info) {
       std::string name = info.param;
       for (auto& c : name) {
-        if (c == '-') c = '_';
+        if (c == '-' || c == ':') c = '_';
       }
       return name;
     });

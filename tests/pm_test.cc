@@ -66,13 +66,16 @@ TEST(Pool, ContainsDistinguishesInsideAndOutside) {
   EXPECT_FALSE(pool.Contains(nullptr));
 }
 
-TEST(Pool, UsedGrowsMonotonically) {
-  Pool pool(1 << 20);
+TEST(Pool, UsedGrowsAtChunkGranularity) {
+  Pool pool(64 << 20);
+  ASSERT_GT(pool.chunk_size(), 0u);
   const std::size_t u0 = pool.used();
-  pool.Alloc(100);
+  pool.Alloc(100);  // reserves this thread's first arena chunk
   const std::size_t u1 = pool.used();
-  pool.Alloc(100);
-  EXPECT_GT(u1, u0);
+  EXPECT_GE(u1, u0 + pool.chunk_size());
+  pool.Alloc(100);  // served from the same chunk: global offset unmoved
+  EXPECT_EQ(pool.used(), u1);
+  pool.Alloc(pool.chunk_size());  // larger than chunk/2: direct reservation
   EXPECT_GT(pool.used(), u1);
 }
 

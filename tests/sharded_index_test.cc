@@ -1,0 +1,237 @@
+// Tests for the range-sharded index tier (index/sharded.h): partition
+// monotonicity, cross-shard scan ordering, concurrent insert/search, and
+// CountEntries agreement with the unsharded tree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/index.h"
+#include "index/sharded.h"
+#include "pm/pool.h"
+
+namespace fastfair {
+namespace {
+
+std::unique_ptr<ShardedIndex> MakeSharded(pm::Pool* pool,
+                                          std::size_t shards) {
+  return std::make_unique<ShardedIndex>(
+      "sharded-fastfair", shards,
+      [pool](std::size_t) { return MakeIndex("fastfair", pool); });
+}
+
+TEST(ShardedIndex, ShardOfIsMonotonicAndCoversAllShards) {
+  pm::Pool pool(std::size_t{1} << 30);
+  auto idx = MakeSharded(&pool, 8);
+  EXPECT_EQ(idx->num_shards(), 8u);
+  EXPECT_EQ(idx->ShardOf(0), 0u);
+  EXPECT_EQ(idx->ShardOf(~Key{0}), 7u);
+  Rng rng(11);
+  std::vector<Key> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back(rng.Next());
+  std::sort(keys.begin(), keys.end());
+  std::size_t prev = 0;
+  std::vector<bool> seen(8, false);
+  for (const Key k : keys) {
+    const std::size_t s = idx->ShardOf(k);
+    ASSERT_LT(s, 8u);
+    ASSERT_GE(s, prev) << "range partition must be monotonic in the key";
+    seen[s] = true;
+    prev = s;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }))
+      << "uniform keys must hit every shard";
+}
+
+TEST(ShardedIndex, ScanAcrossShardBoundariesIsGloballySorted) {
+  pm::Pool pool(std::size_t{1} << 30);
+  auto idx = MakeSharded(&pool, 4);
+  // Cluster keys tightly around every shard boundary (s * 2^62 for N=4) so
+  // scans must stitch results from adjacent shards.
+  std::map<Key, Value> model;
+  for (std::uint64_t s = 1; s < 4; ++s) {
+    const Key boundary = s << 62;
+    for (std::uint64_t d = 0; d < 50; ++d) {
+      for (const Key k : {boundary - 50 + d, boundary + d}) {
+        idx->Insert(k, k ^ 0x5a5a);
+        model[k] = k ^ 0x5a5a;
+      }
+    }
+  }
+  ASSERT_NE(idx->ShardOf((Key{1} << 62) - 1), idx->ShardOf(Key{1} << 62));
+  std::vector<core::Record> out(1000);
+  for (const Key start :
+       {Key{0}, (Key{1} << 62) - 25, Key{1} << 62, (Key{2} << 62) - 1,
+        (Key{3} << 62) + 10}) {
+    const std::size_t n = idx->Scan(start, out.size(), out.data());
+    auto it = model.lower_bound(start);
+    const auto expect = static_cast<std::size_t>(
+        std::distance(it, model.end()));
+    ASSERT_EQ(n, std::min(expect, out.size())) << "scan from " << start;
+    for (std::size_t i = 0; i < n; ++i, ++it) {
+      ASSERT_EQ(out[i].key, it->first) << "position " << i;
+      ASSERT_EQ(out[i].ptr, it->second);
+      if (i > 0) ASSERT_LT(out[i - 1].key, out[i].key) << "must be sorted";
+    }
+  }
+}
+
+TEST(ShardedIndex, ScanRespectsMaxResultsMidShard) {
+  pm::Pool pool(std::size_t{1} << 30);
+  auto idx = MakeSharded(&pool, 4);
+  // 100 keys per shard.
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    for (std::uint64_t i = 1; i <= 100; ++i) {
+      idx->Insert((s << 62) + i, s * 1000 + i);
+    }
+  }
+  std::vector<core::Record> out(250);
+  // Cap lands inside the third shard: exactly 250 results, sorted.
+  const std::size_t n = idx->Scan(1, 250, out.data());
+  ASSERT_EQ(n, 250u);
+  for (std::size_t i = 1; i < n; ++i) ASSERT_LT(out[i - 1].key, out[i].key);
+}
+
+TEST(ShardedIndex, CountEntriesAgreesWithUnshardedTree) {
+  pm::Pool pool(std::size_t{2} << 30);
+  auto sharded = MakeIndex("sharded-fastfair", &pool);
+  auto plain = MakeIndex("fastfair", &pool);
+  Rng rng(23);
+  std::map<Key, Value> model;
+  for (int i = 0; i < 30000; ++i) {
+    const Key k = rng.Next() | 1;
+    sharded->Insert(k, k + 1);
+    plain->Insert(k, k + 1);
+    model[k] = k + 1;
+  }
+  // Remove a slice from both.
+  int removed = 0;
+  for (auto it = model.begin(); it != model.end() && removed < 5000;
+       ++removed) {
+    EXPECT_TRUE(sharded->Remove(it->first));
+    EXPECT_TRUE(plain->Remove(it->first));
+    it = model.erase(it);
+  }
+  EXPECT_EQ(sharded->CountEntries(), model.size());
+  EXPECT_EQ(sharded->CountEntries(), plain->CountEntries());
+}
+
+TEST(ShardedIndex, ConcurrentInsertAndSearch) {
+  pm::Pool pool(std::size_t{2} << 30);
+  auto idx = MakeIndex("sharded-fastfair:8", &pool);
+  ASSERT_TRUE(idx->supports_concurrency());
+  constexpr int kWriters = 4, kReaders = 2, kPerWriter = 20000;
+  // Writer w owns ordinals u = i*kWriters + w; multiplying by an odd
+  // constant is a bijection on 2^64, so keys are distinct and spread over
+  // the whole key space => every shard sees concurrent writers.
+  auto key_of = [](int w, int i) {
+    const Key u = static_cast<Key>(i) * kWriters + static_cast<Key>(w);
+    return (u * 0x9E3779B97F4A7C15ull) | 1;
+  };
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const Key k = key_of(w, i);
+        idx->Insert(k, 2 * k + 1);
+      }
+    });
+  }
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int w = static_cast<int>(rng.NextBounded(kWriters));
+        const int i = static_cast<int>(rng.NextBounded(kPerWriter));
+        const Key k = key_of(w, i);
+        const Value v = idx->Search(k);
+        if (v != kNoValue) {
+          // Never a torn/wrong value: either absent or fully inserted.
+          ASSERT_EQ(v, 2 * k + 1);
+          ++local;
+        }
+      }
+      hits.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_GT(hits.load(), 0u);
+  // Quiescent: every inserted key findable, total count exact.
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; i += 97) {
+      const Key k = key_of(w, i);
+      ASSERT_EQ(idx->Search(k), 2 * k + 1);
+    }
+  }
+  EXPECT_EQ(idx->CountEntries(),
+            static_cast<std::size_t>(kWriters) * kPerWriter);
+}
+
+TEST(ShardedIndex, ExplicitBoundariesPartitionSmallKeySpaces) {
+  pm::Pool pool(std::size_t{1} << 30);
+  // TPC-C-style keys live in [1, ~400): the uniform 2^64 partition would
+  // put everything in shard 0; explicit boundaries restore the spread.
+  ShardedIndex idx(
+      "sharded-fastfair", std::vector<Key>{100, 200, 300},
+      [&pool](std::size_t) { return MakeIndex("fastfair", &pool); });
+  EXPECT_EQ(idx.num_shards(), 4u);
+  EXPECT_EQ(idx.ShardOf(0), 0u);
+  EXPECT_EQ(idx.ShardOf(99), 0u);
+  EXPECT_EQ(idx.ShardOf(100), 1u);  // boundary key starts the next shard
+  EXPECT_EQ(idx.ShardOf(299), 2u);
+  EXPECT_EQ(idx.ShardOf(300), 3u);
+  EXPECT_EQ(idx.ShardOf(~Key{0}), 3u);
+  std::map<Key, Value> model;
+  for (Key k = 1; k < 400; ++k) {
+    idx.Insert(k, k + 7);
+    model[k] = k + 7;
+  }
+  std::vector<core::Record> out(500);
+  const std::size_t n = idx.Scan(50, out.size(), out.data());
+  ASSERT_EQ(n, model.size() - 49);  // keys 50..399
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i].key, 50 + static_cast<Key>(i));
+  }
+  EXPECT_EQ(idx.CountEntries(), model.size());
+  // Non-decreasing duplicates are legal (empty shards); descending is not.
+  EXPECT_NO_THROW(ShardedIndex(
+      "s", std::vector<Key>{5, 5},
+      [&pool](std::size_t) { return MakeIndex("fastfair", &pool); }));
+  EXPECT_THROW(
+      ShardedIndex(
+          "s", std::vector<Key>{9, 3},
+          [&pool](std::size_t) { return MakeIndex("fastfair", &pool); }),
+      std::invalid_argument);
+}
+
+TEST(ShardedIndex, FactoryParsesShardCountSuffix) {
+  pm::Pool pool(std::size_t{1} << 30);
+  auto idx = MakeIndex("sharded-fastfair:16", &pool);
+  EXPECT_EQ(idx->name(), "sharded-fastfair:16");
+  idx->Insert(7, 8);
+  EXPECT_EQ(idx->Search(7), 8u);
+  EXPECT_THROW(MakeIndex("sharded-fastfair:0", &pool), std::invalid_argument);
+  EXPECT_THROW(MakeIndex("sharded-fastfair:x", &pool), std::invalid_argument);
+  EXPECT_THROW(MakeIndex("sharded-fastfair:", &pool), std::invalid_argument);
+  EXPECT_THROW(MakeIndex("sharded-fastfairy", &pool), std::invalid_argument);
+}
+
+TEST(ShardedIndex, RegisteredInAllIndexKinds) {
+  const auto kinds = AllIndexKinds();
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "sharded-fastfair"),
+            kinds.end());
+}
+
+}  // namespace
+}  // namespace fastfair

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "index/sharded.h"
 #include "tpcc/driver.h"
 
 namespace fastfair::tpcc {
@@ -135,10 +139,35 @@ TEST_P(TpccCrossIndex, SameSeedSameCommitCount) {
   EXPECT_EQ(r.aborted, rr.aborted);
 }
 
+TEST(TpccDb, ShardedTablesSpreadRowsAcrossShards) {
+  // TPC-C keys pack ids into a small key-space prefix; the Db must hand the
+  // sharded adapter explicit boundaries so rows do not all land in shard 0.
+  pm::Pool pool(3u << 30);
+  Config cfg = SmallConfig();
+  cfg.warehouses = 4;
+  Db db("sharded-fastfair:4", cfg, &pool);
+  auto* sharded = dynamic_cast<ShardedIndex*>(&db.stock());
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_EQ(sharded->num_shards(), 4u);
+  std::vector<bool> hit(4, false);
+  for (std::uint32_t w = 0; w < cfg.warehouses; ++w) {
+    hit[sharded->ShardOf(StockKey(w, 1))] = true;
+  }
+  EXPECT_EQ(std::count(hit.begin(), hit.end(), true), 4)
+      << "each warehouse's stock rows must land in a distinct shard";
+}
+
 INSTANTIATE_TEST_SUITE_P(Indexes, TpccCrossIndex,
-                         ::testing::Values("fastfair", "wbtree", "fptree",
-                                           "wort", "skiplist"),
-                         [](const auto& info) { return info.param; });
+                         ::testing::Values("fastfair", "sharded-fastfair",
+                                           "wbtree", "fptree", "wort",
+                                           "skiplist"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace fastfair::tpcc
