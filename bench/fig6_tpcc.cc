@@ -6,6 +6,11 @@
 // Expected shape: FAST+FAIR ahead everywhere (good inserts + sorted-leaf
 // range scans); WORT hurt by Stock-Level/Order-Status range queries;
 // SkipList last.
+//
+// --threads=N runs each mix with N concurrent terminals (tpcc::RunMix
+// multi-threaded overload); kinds whose indexes do not support concurrent
+// callers are skipped for N > 1. A sweep over sharded-fastfair shows the
+// sharding win end-to-end — on multi-core hardware only (EXPERIMENTS.md).
 
 #include <cstdio>
 
@@ -40,22 +45,40 @@ int main(int argc, char** argv) {
   const std::vector<std::string> kinds = {"fastfair", opt.ShardedKind(),
                                           "fptree", "wbtree", "wort",
                                           "skiplist"};
+  // Without an explicit --threads, stay single-threaded (the paper's Fig 6
+  // setup); --threads=1,4 sweeps terminal counts per mix and kind.
+  const std::vector<int> threads =
+      opt.threads_set ? opt.threads : std::vector<int>{1};
   std::printf(
       "Figure 6: TPC-C throughput (Kops/sec committed txns), %u warehouses, "
       "%zu txns per mix, PM latency 300/300 ns\n",
       cfg.warehouses, txns);
-  bench::Table table({"mix", "index", "Ktxn_per_sec", "committed",
+  bench::Table table({"mix", "index", "threads", "Ktxn_per_sec", "committed",
                       "aborted"});
+  // Concurrency support depends only on the kind: probe each once with a
+  // tiny throwaway index instead of populating a Db just to skip it.
+  std::vector<bool> kind_concurrent;
+  for (const auto& kind : kinds) {
+    pm::Pool probe(std::size_t{16} << 20);
+    kind_concurrent.push_back(MakeIndex(kind, &probe)->supports_concurrency());
+  }
   for (const auto& mix : tpcc::PaperMixes()) {
-    for (const auto& kind : kinds) {
-      pm::SetConfig(pm::Config{});  // populate at DRAM speed
-      pm::Pool pool(std::size_t{8} << 30);
-      tpcc::Db db(kind, cfg, &pool);
-      pm::SetConfig(pmcfg);
-      const auto r = tpcc::RunMix(db, mix, txns, opt.seed);
-      pm::SetConfig(pm::Config{});
-      table.AddRow({mix.name, kind, bench::Table::Num(r.Kops()),
-                    std::to_string(r.committed), std::to_string(r.aborted)});
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      const auto& kind = kinds[ki];
+      const bool concurrent = kind_concurrent[ki];
+      for (const int t : threads) {
+        if (t > 1 && !concurrent) continue;
+        pm::SetConfig(pm::Config{});  // populate at DRAM speed
+        pm::Pool pool(std::size_t{8} << 30);
+        tpcc::Db db(kind, cfg, &pool);
+        pm::SetConfig(pmcfg);
+        const auto r = tpcc::RunMix(db, mix, txns, opt.seed, t);
+        pm::SetConfig(pm::Config{});
+        table.AddRow({mix.name, kind, std::to_string(t),
+                      bench::Table::Num(r.Kops()),
+                      std::to_string(r.committed),
+                      std::to_string(r.aborted)});
+      }
     }
   }
   if (opt.csv) {

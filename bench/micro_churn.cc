@@ -1,0 +1,144 @@
+// Delete-churn microbenchmark: sustained insert/delete rounds whose total
+// allocation volume is a multiple of the pool size (default 10x).
+//
+// This is the workload the free-list reclaimer (DESIGN.md §3.1) exists for:
+// without it, logically deleted nodes leak and the pool runs dry after
+// roughly one pool's worth of allocation; with it, used() plateaus while
+// alloc volume keeps growing and the recycle counters account for the
+// difference. The run *fails* (non-zero exit) on pool exhaustion or if no
+// block was ever recycled, so CI can smoke it (ci-scale job).
+//
+// Kinds: fastfair-reclaim (empty-leaf unlink + free), its sharded variant,
+// and wort (leaf/obsolete-node frees on its natural paths). Other registry
+// kinds only ever free logically and are not interesting here.
+//
+// --churn=R caps the number of rounds (default: run until the volume
+// target); --n sets the per-round working set.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/options.h"
+#include "bench/runner.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "index/index.h"
+#include "pm/persist.h"
+#include "pm/pool.h"
+
+namespace {
+
+using namespace fastfair;
+
+constexpr std::size_t kVolumeFactor = 10;  // target alloc volume / capacity
+
+struct ChurnResult {
+  bool exhausted = false;
+  std::size_t rounds = 0;
+  std::size_t volume = 0;     // bytes allocated (incl. recycled blocks)
+  std::size_t used = 0;       // final bump reservation
+  pm::ThreadStats pm;         // counter deltas across the run
+};
+
+ChurnResult RunChurn(const std::string& kind, std::size_t capacity,
+                     std::size_t n, std::size_t max_rounds,
+                     std::uint64_t seed, bool slide) {
+  pm::Pool pool(capacity);
+  auto idx = MakeIndex(kind, &pool);
+  ChurnResult r;
+  pm::ResetStats();
+  const pm::ThreadStats before = pm::Stats();
+  const std::size_t target = kVolumeFactor * capacity;
+  // Sliding key window: every round works a fresh, disjoint slice of the
+  // key space, so emptied leaves are never revived by later inserts — the
+  // adversarial case for reclamation (lazy repair alone would leak them,
+  // since no traversal returns to a drained range). WORT runs a fixed
+  // window instead: it never merges radix nodes (per the paper), so a
+  // drifting key space inherently grows its inner structure; recycling
+  // there is about the per-key leaf records and superseded nodes.
+  const Key span = static_cast<Key>(n) * 32;
+  try {
+    while (r.volume < target && r.rounds < max_rounds) {
+      auto keys =
+          bench::UniformKeysInRange(n, span, seed ^ (r.rounds * 0x9e37ull));
+      if (slide) {
+        const Key base = static_cast<Key>(r.rounds) * span;
+        for (Key& k : keys) k += base;
+      }
+      for (const Key k : keys) idx->Insert(k, bench::ValueFor(k));
+      for (const Key k : keys) idx->Remove(k);
+      r.rounds += 1;
+      r.volume = (pm::Stats() - before).alloc_bytes;
+    }
+  } catch (const std::bad_alloc&) {
+    r.exhausted = true;
+  }
+  r.pm = pm::Stats() - before;
+  r.used = pool.used();
+  return r;
+}
+
+double Mb(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::ParseOptions(argc, argv);
+  const bool ci = opt.scale == "ci";
+  const std::size_t n = opt.n_override != 0 ? opt.n_override
+                                            : (ci ? 10000 : 100000);
+  const std::size_t max_rounds =
+      opt.churn_rounds != 0 ? opt.churn_rounds : 100000;
+
+  struct Target {
+    std::string kind;
+    std::size_t capacity;
+    bool slide;
+  };
+  const std::size_t cap = ci ? (std::size_t{8} << 20) : (std::size_t{32} << 20);
+  const std::vector<Target> targets = {
+      {"fastfair-reclaim", cap, true},
+      {"sharded-fastfair-reclaim:" + std::to_string(opt.shards), cap, true},
+      {"wort", cap, false},
+  };
+
+  std::printf(
+      "Delete churn: insert+delete rounds of %zu fresh keys until alloc "
+      "volume reaches %zux pool capacity (bounded used() = reclamation "
+      "works)\n",
+      n, kVolumeFactor);
+  bench::Table table({"index", "pool_MB", "rounds", "alloc_MB", "used_MB",
+                      "freed_MB", "recycles", "spills", "refills"});
+  bool ok = true;
+  for (const auto& t : targets) {
+    const auto r = RunChurn(t.kind, t.capacity, n, max_rounds, opt.seed,
+                            t.slide);
+    table.AddRow({t.kind, bench::Table::Num(Mb(t.capacity)),
+                  std::to_string(r.rounds), bench::Table::Num(Mb(r.volume)),
+                  bench::Table::Num(Mb(r.used)),
+                  bench::Table::Num(Mb(r.pm.free_bytes)),
+                  std::to_string(r.pm.recycles),
+                  std::to_string(r.pm.freelist_spills),
+                  std::to_string(r.pm.freelist_refills)});
+    if (r.exhausted) {
+      std::fprintf(stderr, "FAIL: %s exhausted its pool after %.1f MB\n",
+                   t.kind.c_str(), Mb(r.volume));
+      ok = false;
+    }
+    if (r.pm.recycles == 0) {
+      std::fprintf(stderr, "FAIL: %s never recycled a block\n",
+                   t.kind.c_str());
+      ok = false;
+    }
+  }
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return ok ? 0 : 1;
+}

@@ -12,9 +12,7 @@ SkipList::SkipList(pm::Pool* pool) : pool_(pool) {
 }
 
 SkipList::PNode* SkipList::AllocNode(Key key, Value value, int level) {
-  const std::size_t size =
-      sizeof(PNode) + sizeof(std::atomic<std::uint64_t>) *
-                          static_cast<std::size_t>(level > 1 ? level - 1 : 0);
+  const std::size_t size = NodeSize(level);
   auto* n = static_cast<PNode*>(pool_->Alloc(size, kCacheLineSize));
   std::memset(static_cast<void*>(n), 0, size);
   n->key = key;
@@ -84,7 +82,10 @@ void SkipList::Insert(Key key, Value value) {
     std::uint64_t expected = U64(succs[0]);
     if (!preds[0]->next0.compare_exchange_strong(expected, U64(n),
                                                  std::memory_order_acq_rel)) {
-      continue;  // raced; recompute position (node leaks, unreachable)
+      // Raced: the node was never published, so no other thread can hold a
+      // reference — recycle it and recompute the position.
+      pool_->Free(n, NodeSize(level));
+      continue;
     }
     pm::Persist(&preds[0]->next0, sizeof(std::uint64_t));
     // Upper levels: volatile express lanes, CAS with per-level retry.

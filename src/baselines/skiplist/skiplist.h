@@ -54,6 +54,12 @@ class SkipList {
     std::atomic<std::uint64_t> nexts[1];  // levels 1..level-1 (volatile)
   };
 
+  static std::size_t NodeSize(int level) {
+    return sizeof(PNode) + sizeof(std::atomic<std::uint64_t>) *
+                               static_cast<std::size_t>(level > 1 ? level - 1
+                                                                  : 0);
+  }
+
   static PNode* Ptr(std::uint64_t p) { return reinterpret_cast<PNode*>(p); }
   static std::uint64_t U64(const PNode* p) {
     return reinterpret_cast<std::uint64_t>(p);

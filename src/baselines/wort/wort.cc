@@ -154,8 +154,11 @@ void Wort::Insert(Key key, Value value) {
     const std::uint64_t sub =
         BuildDiverging(ex_key, reinterpret_cast<std::uint64_t>(n2), key,
                        TagLeaf(l), pos);
-    *slot = sub;  // 8-byte atomic commit; old n leaks (unreachable garbage)
+    *slot = sub;  // 8-byte atomic commit
     pm::Persist(slot, sizeof(std::uint64_t));
+    // The superseded node was replaced by its copy n2; the commit above
+    // removed its last persistent reference, so recycle it.
+    pool_->Free(n, sizeof(Node));
     return;
   }
 }
@@ -190,8 +193,9 @@ bool Wort::Remove(Key key) {
     if (cur == 0) return false;
     if (IsLeaf(cur)) {
       if (AsLeaf(cur)->key != key) return false;
-      *slot = 0;  // 8-byte atomic unlink; leaf leaks (no merge, as in WORT)
+      *slot = 0;  // 8-byte atomic unlink (no path merge, as in WORT)
       pm::Persist(slot, sizeof(std::uint64_t));
+      pool_->Free(AsLeaf(cur), sizeof(LeafRec));  // unlink persisted first
       return true;
     }
     Node* n = AsNode(cur);

@@ -43,6 +43,7 @@ Options ParseOptions(int argc, char** argv) {
       }
     } else if (const char* v = val("--threads=")) {
       o.threads.clear();
+      o.threads_set = true;
       const char* p = v;
       while (*p != '\0') {
         o.threads.push_back(static_cast<int>(std::strtol(p, nullptr, 10)));
@@ -50,12 +51,14 @@ Options ParseOptions(int argc, char** argv) {
         if (comma == nullptr) break;
         p = comma + 1;
       }
+    } else if (const char* v = val("--churn=")) {
+      o.churn_rounds = std::strtoull(v, nullptr, 10);
     } else if (a == "--csv") {
       o.csv = true;
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "options: --scale=ci|small|paper --n=N --threads=1,2,4 "
-          "--shards=S --csv --seed=S\n");
+          "--shards=S --churn=R --csv --seed=S\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());

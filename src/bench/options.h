@@ -4,8 +4,12 @@
 //   --scale=ci|small|paper   dataset sizing (default small; paper = the
 //                            sizes in the publication, hours on one core)
 //   --n=<count>              explicit dataset size override
-//   --threads=<list>         comma-separated thread counts (Fig 7)
-//   --shards=<count>         shard count for the sharded-fastfair kind
+//   --threads=<list>         comma-separated thread counts (Fig 7; a single
+//                            count for fig6's multi-threaded TPC-C)
+//   --shards=<count>         shard count for the sharded-* kinds
+//   --churn=<rounds>         caps the delete-churn round count in benches
+//                            that churn (micro_churn); default: run until
+//                            the bench's allocation-volume target
 //   --csv                    machine-readable output
 //   --seed=<u64>             workload seed
 
@@ -21,7 +25,9 @@ struct Options {
   std::string scale = "small";
   std::size_t n_override = 0;
   std::vector<int> threads;
-  std::size_t shards = 8;  // sharded-fastfair shard count
+  bool threads_set = false;  // true when --threads was passed explicitly
+  std::size_t shards = 8;        // sharded-* shard count
+  std::size_t churn_rounds = 0;  // --churn=R; 0 = bench-specific default
   bool csv = false;
   std::uint64_t seed = 20180213;  // FAST'18 opening day
 

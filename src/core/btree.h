@@ -35,6 +35,7 @@
 #include "core/node_ops.h"
 #include "pm/persist.h"
 #include "pm/pool.h"
+#include "pm/reclaim.h"
 
 namespace fastfair::core {
 
@@ -59,11 +60,14 @@ struct Options {
   SearchMode search = SearchMode::kLinear;
   // Lazy reclamation of emptied leaves (paper §4.2's merge path):
   // empty leaves are marked dead, unlinked from the chain, and their
-  // parent routes repaired lazily. Verified by tests/btree_merge_test for
-  // single-writer workloads; the multi-writer interaction of unlinking
-  // with concurrent structural changes is not yet proven, so the feature
-  // is opt-in (without it empty leaves are simply tolerated, exactly as
-  // the authors' reference implementation does).
+  // parent routes repaired lazily; the repairer that removes the last
+  // persistent route returns the node to the pool's free lists, where
+  // concurrent readers are covered by epoch-based deferral (DESIGN.md
+  // §3.1). Verified by tests/btree_merge_test for single-writer workloads
+  // and by the delete-churn tests; the multi-writer interaction of
+  // unlinking with concurrent structural changes is not yet proven, so the
+  // feature is opt-in (without it empty leaves are simply tolerated,
+  // exactly as the authors' reference implementation does).
   bool reclaim_empty_leaves = false;
 };
 
@@ -163,14 +167,45 @@ class BTreeT {
   /// retry from the root.
   NodeT* LockCovering(NodeT* n, Key key);
 
-  /// Lazy merge (paper §4.2): if `n`'s right sibling is an empty leaf,
-  /// marks it dead and unlinks it from the chain. Caller holds `n`'s lock.
-  void TryUnlinkEmptySibling(NodeT* n);
+  /// Lazy merge (paper §4.2), extended with reclamation: marks the maximal
+  /// run of empty leaves right of `n` dead, unlinks them from the chain,
+  /// and eagerly repairs + frees them via RepairDeadRoutes. Caller holds
+  /// `n`'s lock and passes the key its operation targeted (the repair
+  /// range's lower bound). Only with Options::reclaim_empty_leaves.
+  void TryUnlinkEmptySibling(NodeT* n, Key op_key);
 
   /// Removes the parent separator routing to `dead` (found via `hint_key`,
   /// the key whose traversal hit the dead node). Idempotent.
   void RemoveChildFromParent(const NodeT* dead, std::uint16_t parent_level,
                              Key hint_key);
+
+  /// True when locked internal `p` routes to no live child.
+  bool AllRoutesDead(NodeT* p);
+
+  /// Removes every dead-child route of locked `p` (delete the separator
+  /// where safe, else duplicate an adjacent route over it and let the
+  /// duplicate-pointer rule + FixNode merge the pair), reclaiming each
+  /// unrouted child subtree. Redirects never leave `p`, so a child always
+  /// has exactly one routing parent.
+  void CleanDeadRoutes(NodeT* p);
+
+  /// Claims and frees dead node `c` and, for internal `c`, its dead-child
+  /// subtrees (whose only routes lived inside `c`).
+  void ReclaimDeadSubtree(const NodeT* c);
+
+  /// After a route widening (dup-merge in CleanDeadRoutes), split-created
+  /// descendants of `c` must present a low-fence record key equal to the
+  /// widened route's key, or keys in the widened range would fall through
+  /// SearchInternal's degenerate fallback and, once inserted below a stale
+  /// fence, invert key-vs-chain order after a split. Recursively lowers
+  /// records[0].key down the leftmost-child spine (8-byte atomic stores).
+  void LowerFence(NodeT* c, Key low);
+
+  /// Walks level `level`'s sibling chain across the parents covering
+  /// [lo, hi]: cleans dead routes in each, unlinks nodes whose children
+  /// all died (the drained-subtree case), and recurses one level up to
+  /// remove — and reclaim — those nodes in turn.
+  void RepairDeadRoutes(std::uint16_t level, Key lo, Key hi);
 
   /// Splits locked `node` and inserts (key, down) into the proper half;
   /// releases locks and updates the parent (Alg 2).

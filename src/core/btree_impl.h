@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cstring>
 #include <new>
+#include <optional>
 
 namespace fastfair::core {
 
@@ -14,6 +15,43 @@ namespace detail {
 template <class NodeT>
 inline const NodeT* ResolveNode(std::uint64_t p) {
   return reinterpret_cast<const NodeT*>(p);
+}
+
+// One-shot claim of a dead node's memory (see kNodeReclaimed in node.h).
+// RealMem-only: reclamation never runs under crash simulation policies.
+template <class NodeT, class Ops>
+inline bool ClaimReclaim(const NodeT* dead) {
+  const std::uint64_t bit = static_cast<std::uint64_t>(kNodeReclaimed) << 48;
+  const std::uint64_t prev =
+      std::atomic_ref<std::uint64_t>(*Ops::SwitchWord(dead))
+          .fetch_or(bit, std::memory_order_acq_rel);
+  return (prev & bit) == 0;
+}
+
+// Reader pin, taken only when this tree can actually recycle nodes: the
+// seq_cst pin store is measurable on the ns-scale hot paths the figures
+// time, and without reclaim_empty_leaves no tree node is ever freed (the
+// paper-reproduction configuration must stay untouched).
+struct MaybeEpochGuard {
+  std::optional<pm::EpochGuard> guard;
+  explicit MaybeEpochGuard(bool reclaims) {
+    if (reclaims) guard.emplace();
+  }
+};
+
+// Commits the unlink of dead-to-be node `s` from its live left chain
+// anchor `left` (caller holds both locks). Commit order is load-bearing
+// for recovery: the persistent dead mark first (MarkDead flushes and
+// fences), then the 8-byte chain swing, persisted. A crash between the
+// two leaves a dead-but-linked node, which readers skip and writers
+// refuse (they retry via the repair path) — tolerable garbage, per the
+// paper's lazy-recovery story.
+template <class NodeT, class Ops, class Mem>
+inline void UnlinkDeadSibling(Mem& m, NodeT* left, NodeT* s) {
+  Ops::MarkDead(m, s);
+  Ops::StoreSibling(m, left, Ops::LoadSibling(m, s));
+  m.Flush(&left->hdr);
+  m.Fence();
 }
 }  // namespace detail
 
@@ -123,6 +161,14 @@ typename BTreeT<P>::NodeT* BTreeT<P>::LockCovering(NodeT* n, Key key) {
     AdoptSibling(next, parent_level);
     pm::AnnotateRead(next);
     next->hdr.lock.lock();
+    if (Ops::IsDead(m, next)) {
+      // The node we hopped to was emptied and unlinked between reading the
+      // sibling pointer and taking its lock; writing into it would lose the
+      // update. Repair and retry from the root like the entry check above.
+      next->hdr.lock.unlock();
+      RemoveChildFromParent(next, parent_level, key);
+      return nullptr;
+    }
     n = next;
   }
   return n;
@@ -133,13 +179,14 @@ typename BTreeT<P>::NodeT* BTreeT<P>::LockCovering(NodeT* n, Key key) {
 template <std::size_t P>
 void BTreeT<P>::Insert(Key key, Value value) {
   assert(value != kNoValue && "kNoValue (0) is reserved");
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);  // pins reclaimed nodes
   RealMem m;
   for (;;) {
     NodeT* leaf = FindLeaf(key);
     leaf = LockCovering(leaf, key);
     if (leaf == nullptr) continue;  // hit a dead node; parent repaired
     Ops::FixNode(m, leaf, detail::ResolveNode<NodeT>);
-    if (opts_.reclaim_empty_leaves) TryUnlinkEmptySibling(leaf);
+    if (opts_.reclaim_empty_leaves) TryUnlinkEmptySibling(leaf, key);
     if (Ops::UpdateKey(m, leaf, key, value)) {  // upsert: 8-byte in-place
       leaf->hdr.lock.unlock();
       return;
@@ -156,13 +203,14 @@ void BTreeT<P>::Insert(Key key, Value value) {
 
 template <std::size_t P>
 bool BTreeT<P>::Remove(Key key) {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
   RealMem m;
   for (;;) {
     NodeT* leaf = FindLeaf(key);
     leaf = LockCovering(leaf, key);
     if (leaf == nullptr) continue;
     Ops::FixNode(m, leaf, detail::ResolveNode<NodeT>);
-    if (opts_.reclaim_empty_leaves) TryUnlinkEmptySibling(leaf);
+    if (opts_.reclaim_empty_leaves) TryUnlinkEmptySibling(leaf, key);
     const bool ok = Ops::DeleteKey(m, leaf, key);
     leaf->hdr.lock.unlock();
     return ok;
@@ -171,6 +219,7 @@ bool BTreeT<P>::Remove(Key key) {
 
 template <std::size_t P>
 Value BTreeT<P>::Search(Key key) const {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
   RealMem m;
   NodeT* n = FindLeaf(key);
   for (;;) {
@@ -260,6 +309,7 @@ void BTreeT<P>::InsertInternal(Key sep, NodeT* right, std::uint16_t level) {
       n = AsNode(Ops::SearchInternal(m, n, sep));
     }
     n = LockCovering(n, sep);
+    if (n == nullptr) continue;  // hopped into a dead node; retry from root
     Ops::FixNode(m, n, detail::ResolveNode<NodeT>);
     // Idempotence: a concurrent/crashed completion may have beaten us.
     bool present = Ops::LoadLeftmost(m, n) == right_u;
@@ -284,6 +334,10 @@ void BTreeT<P>::InsertInternal(Key sep, NodeT* right, std::uint16_t level) {
 template <std::size_t P>
 void BTreeT<P>::AdoptSibling(NodeT* right, std::uint16_t parent_level) {
   RealMem m;
+  // A stale sibling pointer can lead here after the node was emptied and
+  // unlinked; re-publishing a route to it would resurrect memory already
+  // in the reclaimer.
+  if (Ops::IsDead(m, right)) return;
   const int first = Ops::HasHoleAtZero(m, right) ? 1 : 0;
   if (Ops::LoadPtrAt(m, right, first) == 0) return;  // empty: nothing to adopt
   const Key fence = Ops::LoadKeyAt(m, right, first);
@@ -295,81 +349,281 @@ void BTreeT<P>::AdoptSibling(NodeT* right, std::uint16_t parent_level) {
 }
 
 template <std::size_t P>
-void BTreeT<P>::TryUnlinkEmptySibling(NodeT* n) {
+void BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
   RealMem m;
   const std::uint64_t sib_u = Ops::LoadSibling(m, n);
   if (sib_u == 0) return;
-  NodeT* s = AsNode(sib_u);
-  if (!s->is_leaf() || Ops::LoadPtrAt(m, s, 0) != 0 ||
-      Ops::LoadPtrAt(m, s, 1) != 0) {
+  if (!AsNode(sib_u)->is_leaf() || Ops::LoadPtrAt(m, AsNode(sib_u), 0) != 0 ||
+      Ops::LoadPtrAt(m, AsNode(sib_u), 1) != 0) {
     return;  // cheap unlocked pre-check: only empty leaves are reclaimed
   }
-  s->hdr.lock.lock();  // left-to-right order: no deadlock with move-right
-  if (!Ops::IsDead(m, s) && Ops::CountRaw(m, s) == 0 &&
-      Ops::LoadSibling(m, s) != 0) {
-    // (The rightmost node of the level is never reclaimed: a dead node
-    // must keep a live right sibling for the leftmost-reroute repair.)
-    // Commit order: the persistent dead mark first, then the 8-byte chain
-    // swing. A crash between the two leaves a dead-but-linked empty leaf,
-    // which readers skip and writers refuse (they retry via the repair
-    // path) — tolerable garbage, per the paper's lazy-recovery story.
-    Ops::MarkDead(m, s);
-    Ops::StoreSibling(m, n, Ops::LoadSibling(m, s));
-    m.Flush(&n->hdr);
-    m.Fence();
+  // Unlink the maximal run of consecutive empty right siblings (delete
+  // churn drains whole ranges; unlinking one leaf per op would leave most
+  // of a drained run behind). Locks are taken strictly left-to-right, one
+  // run element at a time, so there is no deadlock with move-right.
+  constexpr int kMaxRun = 64;
+  int unlinked = 0;
+  Key hint = 0;
+  bool have_hint = false;
+  NodeT* s = AsNode(sib_u);
+  s->hdr.lock.lock();
+  while (true) {
+    if (Ops::IsDead(m, s) || !s->is_leaf() || Ops::CountRaw(m, s) != 0 ||
+        Ops::LoadSibling(m, s) == 0 || unlinked == kMaxRun) {
+      // Stop at the first live, dead, or rightmost node. (The rightmost
+      // node of the level is never reclaimed: a dead node must keep a live
+      // right sibling for the route repair.) A key at or right of the stop
+      // node bounds the run from above: every unlinked leaf's range lies
+      // below it, so [op_key, hint] spans every parent holding one of the
+      // run's separators. If the stop node itself is empty (rightmost, a
+      // dead remnant, or the kMaxRun cap landed on one), read on along the
+      // chain for the first key — best-effort and unlocked, purely a
+      // routing hint; with no key anywhere to the right, the repair is
+      // deferred to a later run that spans this region from its left.
+      s->hdr.lock.unlock();
+      NodeT* probe = s;
+      for (int hops = 0; probe != nullptr && hops < 4 * kMaxRun; ++hops) {
+        if (!Ops::IsDead(m, probe) && Ops::CountRaw(m, probe) != 0) {
+          const int first = Ops::HasHoleAtZero(m, probe) ? 1 : 0;
+          hint = Ops::LoadKeyAt(m, probe, first) - 1;
+          have_hint = true;
+          break;
+        }
+        probe = AsNode(Ops::LoadSibling(m, probe));
+      }
+      break;
+    }
+    detail::UnlinkDeadSibling<NodeT, Ops>(m, n, s);
+    ++unlinked;
+    NodeT* next = AsNode(Ops::LoadSibling(m, s));
+    s->hdr.lock.unlock();
+    next->hdr.lock.lock();
+    s = next;
   }
-  s->hdr.lock.unlock();
+  if (unlinked != 0 && have_hint) {
+    // Eager repair: remove the parents' routes (and free the dead leaves)
+    // now instead of waiting for a traversal to stumble on them. Without
+    // this, workloads whose key range drifts (delete churn with a sliding
+    // window) never revisit the stale routes and dead leaves accumulate.
+    // Lock order stays child -> parent, which no other path inverts.
+    RepairDeadRoutes(static_cast<std::uint16_t>(n->hdr.level + 1),
+                     op_key, hint);
+  }
 }
 
 template <std::size_t P>
 void BTreeT<P>::RemoveChildFromParent(const NodeT* dead,
                                       std::uint16_t parent_level,
                                       Key hint_key) {
+  (void)dead;  // subsumed: every dead route in the covering parent is cleaned
+  RepairDeadRoutes(parent_level, hint_key, hint_key);
+}
+
+template <std::size_t P>
+bool BTreeT<P>::AllRoutesDead(NodeT* p) {
+  RealMem m;
+  const std::uint64_t lm = Ops::LoadLeftmost(m, p);
+  if (lm != 0 && !Ops::IsDead(m, detail::ResolveNode<NodeT>(lm))) {
+    return false;
+  }
+  const int cnt = Ops::CountRaw(m, p);
+  for (int i = 0; i < cnt; ++i) {
+    const std::uint64_t c = Ops::LoadPtrAt(m, p, i);
+    if (c != 0 && !Ops::IsDead(m, detail::ResolveNode<NodeT>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <std::size_t P>
+void BTreeT<P>::ReclaimDeadSubtree(const NodeT* c) {
+  RealMem m;
+  // The claim keeps a transiently duplicated route (parent mid-split) —
+  // or the lazy and eager repair paths racing — from freeing twice.
+  if (!detail::ClaimReclaim<NodeT, Ops>(c)) return;
+  if (!c->is_leaf()) {
+    // An internal node is only reclaimed once every child is dead (see
+    // AllRoutesDead), and a dead child's only remaining routes lived here:
+    // recycle the whole subtree.
+    const std::uint64_t lm = Ops::LoadLeftmost(m, c);
+    if (lm != 0) ReclaimDeadSubtree(detail::ResolveNode<NodeT>(lm));
+    const int cnt = Ops::CountRaw(m, const_cast<NodeT*>(c));
+    std::uint64_t prev = lm;
+    for (int i = 0; i < cnt; ++i) {
+      const std::uint64_t ch = Ops::LoadPtrAt(m, const_cast<NodeT*>(c), i);
+      if (ch != 0 && ch != prev) {
+        ReclaimDeadSubtree(detail::ResolveNode<NodeT>(ch));
+      }
+      prev = ch;
+    }
+  }
+  pool_->Free(const_cast<NodeT*>(c), sizeof(NodeT));
+}
+
+template <std::size_t P>
+void BTreeT<P>::LowerFence(NodeT* c, Key low) {
+  RealMem m;
+  // Lowering is chain-consistent: the widened range's previous owners died
+  // and were unlinked at every level, so `c` (and recursively its first
+  // child) is the chain successor of the drained run and may own the range
+  // down to `low`. Nodes with a leftmost branch route sub-fence keys there
+  // already and need no change.
+  while (!c->is_leaf()) {
+    if (Ops::LoadLeftmost(m, c) != 0) return;
+    if (Ops::CountRaw(m, c) == 0) return;
+    if (Ops::LoadKeyAt(m, c, 0) <= low) return;
+    Ops::StoreKeyAt(m, c, 0, low);
+    m.Flush(&c->records[0]);
+    m.Fence();
+    c = AsNode(Ops::LoadPtrAt(m, c, 0));
+  }
+}
+
+template <std::size_t P>
+void BTreeT<P>::CleanDeadRoutes(NodeT* p) {
+  RealMem m;
+  // Remove every dead-child route in this parent: a chain-unlinked run
+  // parks many separators in one covering parent, and one pass frees them
+  // all. Each route removal is persisted before ReclaimDeadSubtree can put
+  // the block on a free list; in-flight traversals holding a stale route
+  // are pinned by their EpochGuard, so Pool::Free defers recycling past
+  // every pin.
+  //
+  // Every redirect below stays INSIDE this parent (the adjacent route's
+  // child), never a chain successor from another parent's range: a child
+  // therefore always has exactly one routing parent, which is what lets
+  // the repairer that removes the route free the child. Redirecting onto
+  // an adjacent child transiently duplicates its pointer; the
+  // duplicate-pointer rule makes the right copy invalid for readers and
+  // the FixNode at the top of the loop merges the two records into one
+  // whose separator key is the lower of the pair — ranges simply widen.
+  for (bool again = true; again;) {
+    again = false;
+    Ops::FixNode(m, p, detail::ResolveNode<NodeT>);
+    const std::uint64_t lm = Ops::LoadLeftmost(m, p);
+    const int cnt = Ops::CountRaw(m, p);
+    if (lm != 0 && Ops::IsDead(m, detail::ResolveNode<NodeT>(lm))) {
+      if (cnt == 0) break;  // routes nothing live: left for the unlink path
+      // Leftmost child died: duplicate the first record's child over the
+      // leftmost branch (one atomic 8-byte store). records[0] becomes
+      // invalid (ptr equals its left neighbour, the leftmost) and FixNode
+      // compacts it away, leaving that child to cover the union range.
+      // Only roots and ex-roots carry a leftmost, so `p` is the leftmost
+      // node of its level and the union range's floor is the key minimum.
+      const auto* c = detail::ResolveNode<NodeT>(lm);
+      LowerFence(AsNode(Ops::LoadPtrAt(m, p, 0)), 0);
+      Ops::StoreLeftmost(m, p, Ops::LoadPtrAt(m, p, 0));
+      m.Flush(&p->hdr);
+      m.Fence();
+      ReclaimDeadSubtree(c);
+      again = true;
+      continue;
+    }
+    for (int i = 0; i < cnt; ++i) {
+      const std::uint64_t cu = Ops::LoadPtrAt(m, p, i);
+      if (cu == 0 || !Ops::IsDead(m, detail::ResolveNode<NodeT>(cu))) {
+        continue;
+      }
+      const auto* c = detail::ResolveNode<NodeT>(cu);
+      if (i == 0 && lm == 0) {
+        // This (split-created) node's low fence: deleting the record would
+        // leave the node's lower range routing to a null leftmost. With a
+        // single route the node is fully dead — the unlink path handles
+        // it; otherwise duplicate the next record's child over it and let
+        // FixNode merge the pair under the lower separator key.
+        if (cnt < 2) break;
+        LowerFence(AsNode(Ops::LoadPtrAt(m, p, 1)),
+                   Ops::LoadKeyAt(m, p, 0));
+        Ops::StorePtrAt(m, p, 0, Ops::LoadPtrAt(m, p, 1));
+        m.Flush(&p->records[0]);
+        m.Fence();
+      } else {
+        // Ordinary separator: delete the record outright (FAST delete,
+        // left shift). The dead child's range merges into its left
+        // neighbour's route.
+        Ops::DeleteKey(m, p, Ops::LoadKeyAt(m, p, i));
+      }
+      ReclaimDeadSubtree(c);
+      again = true;
+      break;  // indices shifted / duplicate created; FixNode + rescan
+    }
+  }
+}
+
+template <std::size_t P>
+void BTreeT<P>::RepairDeadRoutes(std::uint16_t level, Key lo, Key hi) {
   RealMem m;
   NodeT* root = Root();
-  if (root->hdr.level < parent_level) return;  // no parent level exists
-  NodeT* n = root;
-  while (n->hdr.level > parent_level) {
-    while (Ops::ShouldMoveRight(m, n, hint_key, detail::ResolveNode<NodeT>)) {
-      n = AsNode(Ops::LoadSibling(m, n));
+  if (root->hdr.level < level) return;  // no such level exists
+  NodeT* p = root;
+  while (p->hdr.level > level) {
+    while (Ops::ShouldMoveRight(m, p, lo, detail::ResolveNode<NodeT>)) {
+      p = AsNode(Ops::LoadSibling(m, p));
     }
-    n = AsNode(Ops::SearchInternal(m, n, hint_key));
+    p = AsNode(Ops::SearchInternal(m, p, lo));
   }
-  n = LockCovering(n, hint_key);
-  if (n == nullptr) return;  // parent itself dead: nothing to repair here
-  Ops::FixNode(m, n, detail::ResolveNode<NodeT>);
-  const auto dead_u = reinterpret_cast<std::uint64_t>(dead);
-  if (Ops::LoadLeftmost(m, n) == dead_u) {
-    // The dead node is this parent's leftmost child: there is no separator
-    // record to delete, so reroute the leftmost branch to the dead node's
-    // right sibling (one atomic 8-byte store). The dead node's emptied key
-    // range then routes to that sibling, where searches correctly miss and
-    // new inserts of the range land — consistent with the leaf chain,
-    // which already bypasses the dead node.
-    const auto* dn = detail::ResolveNode<NodeT>(dead_u);
-    Ops::StoreLeftmost(m, n, Ops::LoadSibling(m, dn));
-    m.Flush(&n->hdr);
-    m.Fence();
-    n->hdr.lock.unlock();
-    return;
-  }
-  // Separator record: swing its child pointer to the dead node's right
-  // sibling with one atomic 8-byte store (deleting the record instead
-  // would be unsafe when it is the node's low fence — split-created
-  // internal nodes have no leftmost child to fall back on). If the swing
-  // duplicates an adjacent child pointer, the duplicate-pointer rule makes
-  // the right copy invalid for readers and FixNode compacts it away later.
-  const auto* d = detail::ResolveNode<NodeT>(dead_u);
-  const int cnt = Ops::CountRaw(m, n);
-  for (int i = 0; i < cnt; ++i) {
-    if (Ops::LoadPtrAt(m, n, i) == dead_u) {
-      Ops::StorePtrAt(m, n, i, Ops::LoadSibling(m, d));
-      m.Flush(&n->records[i]);
-      m.Fence();
+  p = LockCovering(p, lo);
+  if (p == nullptr) return;  // covering node itself dead: repaired, caller
+                             // (if any) retries from the root
+  // Walk the level's chain from the node covering `lo` to the one covering
+  // `hi` (B-link order, one lock at a time). In each node, remove dead
+  // routes; in between, unlink nodes whose children have ALL died — the
+  // fully-drained-subtree case — exactly like empty leaves, and recurse one
+  // level up afterwards to remove and reclaim them in turn.
+  bool unlinked_any = false;
+  bool anchor = true;
+  for (;;) {
+    Ops::FixNode(m, p, detail::ResolveNode<NodeT>);
+    CleanDeadRoutes(p);
+    if (anchor && AllRoutesDead(p) && Ops::LoadSibling(m, p) != 0 &&
+        Ops::CountRaw(m, p) > 0) {
+      // The walk's anchor is itself a tombstone (every route dead, e.g. a
+      // parent whose single remaining child died): it can only be absorbed
+      // from its left neighbour, but a repair keyed inside its range
+      // anchors ON it — without this restart an insert into the range
+      // would retry against the same tombstone forever. Its fence key is
+      // records[0].key, so one key below it anchors the walk on the left
+      // neighbour; lo decreases strictly, and the leftmost node of a level
+      // always keeps a live child, so the recursion terminates.
+      const Key fence = Ops::LoadKeyAt(m, p, 0);
+      p->hdr.lock.unlock();
+      if (fence > 0) RepairDeadRoutes(level, fence - 1, hi);
+      return;
+    }
+    anchor = false;
+    // Absorb fully-dead right siblings into the dead set (p is the live
+    // left anchor; same audited commit order as the leaf-run unlink).
+    while (true) {
+      const std::uint64_t su = Ops::LoadSibling(m, p);
+      if (su == 0) break;
+      NodeT* s = AsNode(su);
+      s->hdr.lock.lock();
+      if (!Ops::IsDead(m, s) && Ops::LoadSibling(m, s) != 0 &&
+          AllRoutesDead(s)) {
+        detail::UnlinkDeadSibling<NodeT, Ops>(m, p, s);
+        unlinked_any = true;
+        s->hdr.lock.unlock();
+        continue;
+      }
+      s->hdr.lock.unlock();
+      break;
+    }
+    const bool more =
+        Ops::ShouldMoveRight(m, p, hi, detail::ResolveNode<NodeT>);
+    const std::uint64_t next_u = Ops::LoadSibling(m, p);
+    p->hdr.lock.unlock();
+    if (!more || next_u == 0) break;
+    p = AsNode(next_u);
+    p->hdr.lock.lock();
+    if (Ops::IsDead(m, p)) {  // raced with another repairer; good enough
+      p->hdr.lock.unlock();
       break;
     }
   }
-  n->hdr.lock.unlock();
+  if (unlinked_any) {
+    RepairDeadRoutes(static_cast<std::uint16_t>(level + 1), lo, hi);
+  }
 }
 
 // --- scans ---------------------------------------------------------------------
@@ -377,6 +631,7 @@ void BTreeT<P>::RemoveChildFromParent(const NodeT* dead,
 template <std::size_t P>
 std::size_t BTreeT<P>::ScanRange(Key min_key, Key max_key, Record* out,
                                  std::size_t cap) const {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
   RealMem m;
   const NodeT* n = FindLeaf(min_key);
   std::size_t got = 0;
@@ -446,6 +701,7 @@ typename BTreeT<P>::TreeStats BTreeT<P>::GetTreeStats() const {
 
 template <std::size_t P>
 std::size_t BTreeT<P>::CountEntries() const {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
   RealMem m;
   const NodeT* n = Root();
   while (!n->is_leaf()) {

@@ -104,12 +104,19 @@ static_assert(sizeof(Record) == 16);
 /// chain (paper §4.2 lazy merge). Persistent: a dead node stays dead.
 inline constexpr std::uint16_t kNodeDead = 1;
 
+/// NodeHeader::flags bit: a repairer has claimed the dead node's memory for
+/// Pool::Free. One-shot (claimed by atomic fetch_or): a parent split can
+/// transiently duplicate the separator routing to a dead node across two
+/// parents, and both repairers may find "their" copy — only the claim
+/// winner frees, so the block can never enter the free list twice.
+inline constexpr std::uint16_t kNodeReclaimed = 2;
+
 struct NodeHeader {
   std::uint64_t leftmost;        // child for key < records[0].key (internal)
   std::uint64_t sibling;         // right sibling (Node*), 0 if none
   std::uint32_t switch_counter;  // even: insert phase, odd: delete phase
   std::uint16_t level;           // 0 = leaf
-  std::uint16_t flags;           // kNodeDead
+  std::uint16_t flags;           // kNodeDead | kNodeReclaimed
   RwSpinLock lock;               // volatile; reinitialized on recovery
   std::uint8_t pad[kCacheLineSize - 28];
 };

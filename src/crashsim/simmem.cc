@@ -21,10 +21,26 @@ void SimMem::Adopt(const void* base, std::size_t len) {
   }
 }
 
+void SimMem::Release(const void* base, std::size_t len) {
+  auto a = reinterpret_cast<std::uintptr_t>(base);
+  if (a % 8 != 0 || len % 8 != 0) {
+    throw std::invalid_argument("SimMem::Release requires 8-byte alignment");
+  }
+  for (std::size_t i = 0; i < len / 8; ++i) {
+    initial_.erase(a + i * 8);
+    cache_.erase(a + i * 8);
+  }
+}
+
 void SimMem::InterceptPool(pm::Pool& pool) {
   pool.SetAllocHook(
       [](void* ctx, void* p, std::size_t size) {
         static_cast<SimMem*>(ctx)->Adopt(p, AlignUp(size, 8));
+      },
+      this);
+  pool.SetFreeHook(
+      [](void* ctx, void* p, std::size_t size) {
+        static_cast<SimMem*>(ctx)->Release(p, AlignUp(size, 8));
       },
       this);
 }

@@ -62,14 +62,23 @@ struct Event {
 class SimMem {
  public:
   /// Registers [base, base+len) with its current content as the persistent
-  /// initial state. Must be 8-byte aligned.
+  /// initial state. Must be 8-byte aligned. Re-adopting a released range is
+  /// legal and models recycled PM: the block re-enters the domain with its
+  /// current (garbage) bytes as the initial state.
   void Adopt(const void* base, std::size_t len);
 
-  /// Installs this simulator as `pool`'s allocation hook: every subsequent
-  /// allocation (arena or direct) is Adopt()ed automatically, so node_ops
-  /// driven through SimMem can allocate from a real Pool — splits included —
+  /// Removes [base, base+len) from the simulated-PM domain (the inverse of
+  /// Adopt). Subsequent loads/stores to the range throw, so a simulated run
+  /// that touches freed memory fails loudly — this is how recycling bugs
+  /// surface under simulation. Must be 8-byte aligned.
+  void Release(const void* base, std::size_t len);
+
+  /// Installs this simulator as `pool`'s allocation *and* free hooks: every
+  /// subsequent allocation (arena, direct, or recycled) is Adopt()ed and
+  /// every Free is Release()d automatically, so node_ops driven through
+  /// SimMem can allocate from a real Pool — splits and recycling included —
   /// without stepping outside the simulated-PM domain. The pool must outlive
-  /// the simulator or have the hook cleared first.
+  /// the simulator or have the hooks cleared first.
   void InterceptPool(pm::Pool& pool);
 
   /// Memory-policy interface used by core/node_ops.h -------------------------

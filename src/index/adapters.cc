@@ -85,6 +85,16 @@ std::unique_ptr<Index> MakeIndex(std::string_view kind, pm::Pool* pool) {
         FFOpts(ConcurrencyMode::kLockFree, RebalanceMode::kFair,
                SearchMode::kBinary));
   }
+  if (kind == "fastfair-reclaim") {
+    // Delete-churn variant: emptied leaves are unlinked and recycled
+    // through the pool free lists. Multi-writer unlink is not yet proven
+    // (core/btree.h), so the kind is registered non-concurrent.
+    core::Options o = FFOpts(ConcurrencyMode::kLockFree, RebalanceMode::kFair,
+                             SearchMode::kLinear);
+    o.reclaim_empty_leaves = true;
+    return std::make_unique<Wrap<core::BTree>>("fastfair-reclaim", false,
+                                               pool, o);
+  }
   if (kind == "fastfair-1k") {  // Fig 4 uses 1 KB FAST+FAIR nodes
     return std::make_unique<Wrap<core::BTreeT<1024>>>(
         "fastfair-1k", true, pool,
@@ -107,18 +117,22 @@ std::unique_ptr<Index> MakeIndex(std::string_view kind, pm::Pool* pool) {
   if (kind == "blink") {
     return std::make_unique<Wrap<baselines::BLink>>("blink", true);
   }
-  if (const std::size_t shards = TryParseShardedKind(kind); shards != 0) {
+  std::string inner;
+  if (const std::size_t shards = TryParseShardedKind(kind, &inner);
+      shards != 0) {
+    // Structure-agnostic sharding: "sharded-<any registered kind>[:N]"
+    // range-partitions N sub-indexes of that kind over the key space.
     return std::make_unique<ShardedIndex>(
         std::string(kind), shards,
-        [pool](std::size_t) { return MakeIndex("fastfair", pool); });
+        [pool, inner](std::size_t) { return MakeIndex(inner, pool); });
   }
   throw std::invalid_argument("unknown index kind: " + std::string(kind));
 }
 
 std::vector<std::string> AllIndexKinds() {
   return {"fastfair", "fastfair-leaflock", "fastfair-logging",
-          "fastfair-binary", "fastfair-1k", "wbtree", "fptree", "wort",
-          "skiplist", "blink", "sharded-fastfair"};
+          "fastfair-binary", "fastfair-1k", "fastfair-reclaim", "wbtree",
+          "fptree", "wort", "skiplist", "blink", "sharded-fastfair"};
 }
 
 std::size_t Index::CountEntries() const {

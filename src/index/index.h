@@ -6,14 +6,16 @@
 //   fastfair-leaflock   FAST+FAIR + shared leaf latches (serializable reads)
 //   fastfair-logging    FAST + undo-logged splits (Fig 5 "FAST+Logging")
 //   fastfair-binary     FAST+FAIR with in-node binary search (Fig 3)
+//   fastfair-reclaim    FAST+FAIR recycling emptied leaves through the
+//                       pool free lists (delete churn; DESIGN.md §3.1)
 //   wbtree              wB+-tree, slot-array + bitmap nodes          [14]
 //   fptree              FP-tree, PM leaves + volatile inner nodes    [17]
 //   wort                WORT write-optimal radix tree                [32]
 //   skiplist            persistent skip list                         [33]
 //   blink               volatile B-link tree (concurrency reference) [29]
-//   sharded-fastfair    N range-partitioned FAST+FAIR trees (index/sharded.h);
-//                       "sharded-fastfair:N" selects the shard count
-//                       (default 8)
+//   sharded-<kind>[:N]  N range-partitioned sub-indexes of any kind
+//                       above (index/sharded.h), e.g. "sharded-fastfair"
+//                       (default 8 shards) or "sharded-fptree:4"
 
 #pragma once
 

@@ -6,23 +6,31 @@
 namespace fastfair {
 
 namespace {
-constexpr std::string_view kShardedPrefix = "sharded-fastfair";
+constexpr std::string_view kShardedPrefix = "sharded-";
 constexpr std::size_t kDefaultShards = 8;
 }  // namespace
 
-std::size_t TryParseShardedKind(std::string_view kind) {
+std::size_t TryParseShardedKind(std::string_view kind,
+                                std::string* inner_kind) {
   if (kind.substr(0, kShardedPrefix.size()) != kShardedPrefix) return 0;
-  if (kind.size() == kShardedPrefix.size()) return kDefaultShards;
-  if (kind[kShardedPrefix.size()] != ':') return 0;  // e.g. "...fairy"
-  const std::string_view suffix = kind.substr(kShardedPrefix.size() + 1);
-  std::size_t shards = 0;
-  const auto [end, ec] =
-      std::from_chars(suffix.data(), suffix.data() + suffix.size(), shards);
-  if (ec != std::errc{} || end != suffix.data() + suffix.size() ||
-      shards == 0 || shards > kMaxShards) {
-    throw std::invalid_argument("bad shard count in index kind: " +
+  std::string_view rest = kind.substr(kShardedPrefix.size());
+  std::size_t shards = kDefaultShards;
+  if (const auto colon = rest.rfind(':'); colon != std::string_view::npos) {
+    const std::string_view suffix = rest.substr(colon + 1);
+    const auto [end, ec] =
+        std::from_chars(suffix.data(), suffix.data() + suffix.size(), shards);
+    if (ec != std::errc{} || end != suffix.data() + suffix.size() ||
+        shards == 0 || shards > kMaxShards) {
+      throw std::invalid_argument("bad shard count in index kind: " +
+                                  std::string(kind));
+    }
+    rest = rest.substr(0, colon);
+  }
+  if (rest.empty() || rest.substr(0, kShardedPrefix.size()) == kShardedPrefix) {
+    throw std::invalid_argument("bad sharded index kind: " +
                                 std::string(kind));
   }
+  if (inner_kind != nullptr) *inner_kind = std::string(rest);
   return shards;
 }
 

@@ -35,11 +35,16 @@ namespace fastfair {
 /// benches' --shards flag).
 inline constexpr std::size_t kMaxShards = 1024;
 
-/// The one parser for the sharded kind grammar: returns the shard count for
-/// "sharded-fastfair" (default 8) or "sharded-fastfair:N"; returns 0 when
+/// The one parser for the sharded kind grammar
+/// "sharded-<inner kind>[:N]" (e.g. "sharded-fastfair",
+/// "sharded-fptree:4"): returns the shard count (default 8) and, when
+/// `inner_kind` is non-null, stores the inner kind string; returns 0 when
 /// `kind` does not name the sharded adapter at all; throws
-/// std::invalid_argument for a malformed or out-of-range count.
-std::size_t TryParseShardedKind(std::string_view kind);
+/// std::invalid_argument for a malformed or out-of-range count, an empty
+/// inner kind, or a nested "sharded-" inner kind. Whether the inner kind
+/// itself exists is the registry's (MakeIndex's) concern.
+std::size_t TryParseShardedKind(std::string_view kind,
+                                std::string* inner_kind = nullptr);
 
 class ShardedIndex final : public Index {
  public:

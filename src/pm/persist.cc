@@ -88,6 +88,10 @@ ThreadStats& ThreadStats::operator-=(const ThreadStats& o) {
   arena_refills -= o.arena_refills;
   frees -= o.frees;
   free_bytes -= o.free_bytes;
+  recycles -= o.recycles;
+  recycle_bytes -= o.recycle_bytes;
+  freelist_spills -= o.freelist_spills;
+  freelist_refills -= o.freelist_refills;
   return *this;
 }
 

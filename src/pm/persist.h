@@ -75,6 +75,10 @@ struct ThreadStats {
   std::uint64_t arena_refills = 0;     // arena chunk reservations (global CAS)
   std::uint64_t frees = 0;             // Pool::Free calls from this thread
   std::uint64_t free_bytes = 0;        // bytes this thread logically freed
+  std::uint64_t recycles = 0;          // allocations served from a free list
+  std::uint64_t recycle_bytes = 0;     // bytes served from free lists
+  std::uint64_t freelist_spills = 0;   // cache -> global batch pushes
+  std::uint64_t freelist_refills = 0;  // global -> cache batch pops
 
   ThreadStats& operator-=(const ThreadStats& o);
   ThreadStats operator-(const ThreadStats& o) const;

@@ -20,29 +20,39 @@
 // pools too small for chunking (< 8 chunks) degrade to the direct path
 // entirely, so tiny test pools behave exactly like the original allocator.
 //
+// Reclamation path (DESIGN.md §3.1): Free() is a real two-level reclaimer.
+// Freed blocks are stamped with the global reclamation epoch (pm/reclaim.h)
+// and parked in a per-thread limbo list; once no reader pinned at or before
+// the stamp remains, they move into per-thread per-size-class caches that
+// Alloc() consumes before touching the bump offset.  Cache overflow spills
+// in batches to one lock-free Treiber list per size class whose heads live
+// in the pool header; cache misses refill from it in batches, so the hot
+// paths (cache hit on both sides) write no shared memory.  Blocks smaller
+// than 8 bytes or larger than 1 MiB are not recycled (accounting only).
+// Callers must Free with the same size they passed to Alloc, and must
+// remove the last persistent reference to a block (persisted) *before*
+// freeing it — concurrent lock-free readers are then covered by the epoch.
+//
 // Crash story: with Options::persist_metadata the global offset is flushed at
 // *chunk-reservation* granularity — after a crash the allocator resumes past
-// every byte any thread may have handed out.  The unreachable tail of a
-// partially-used chunk is garbage that no persistent pointer references,
-// the same leak class as the original per-allocation design (just bounded
-// by chunk size per thread instead of one allocation); reachability is
-// still guaranteed by each structure's commit order.
-//
-// Free() remains a statistics-only no-op: the paper's trees never free nodes
-// except logically (lazy merge), and a real PM allocator (e.g. a per-size-
-// class free list) is orthogonal to the algorithms under study.  The freed
-// counter is a single shared atomic in the header — deliberately *not* an
-// arena-local counter — so frees issued by a thread other than the one whose
-// arena produced the block are never lost (see tests/pool_arena_test.cc).
+// every byte any thread may have handed out.  With Options::persist_free_lists
+// the free-list heads and in-block next links are flushed in push/pop order
+// (next durable before the head that exposes it; a pop durable before the
+// block is handed out), so a reopened pool resumes recycling from the
+// persisted lists; recovery sanitizes each list and truncates at the first
+// torn entry.  Blocks in transit (limbo, thread caches) at the crash are
+// leaked — the same bounded leak class as a partially-used arena chunk.
 
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <new>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/defs.h"
 
@@ -62,6 +72,10 @@ class Pool {
     // on; without it, a crash requires a GC pass to reclaim leaked blocks
     // (reachability is still guaranteed by each structure's commit order).
     bool persist_metadata = false;
+    // Persist the size-class free lists (heads + in-block next links) so a
+    // reopened pool resumes recycling. Off by default for the same
+    // flush-count-neutrality reason as persist_metadata.
+    bool persist_free_lists = false;
     // Per-thread arena chunk size (0 disables arenas; all allocations then
     // CAS the global offset directly, the pre-arena behaviour). The
     // effective chunk is capped at capacity/8 and disabled below 4 KiB so
@@ -81,12 +95,18 @@ class Pool {
   static Pool& Global();
 
   /// Allocates `size` bytes aligned to `align` (power of two, >= 8).
-  /// Thread-safe and, for small blocks, contention-free (per-thread arena).
-  /// Throws std::bad_alloc when the pool is exhausted.
+  /// Thread-safe and, for small blocks, contention-free (per-thread arena or
+  /// per-thread free-list cache). Throws std::bad_alloc when the pool is
+  /// exhausted and nothing recyclable remains.
   void* Alloc(std::size_t size, std::size_t align = kCacheLineSize);
 
-  /// Statistics-only free (arena allocator; see file comment). Safe to call
-  /// from any thread, including one other than the allocating thread.
+  /// Returns a block to the reclaimer (see file comment for the contract:
+  /// same size as allocated, last persistent reference already removed).
+  /// Safe to call from any thread, including one other than the allocating
+  /// thread. The hot path writes only thread-local state; recycling is
+  /// deferred past every reader pinned at the current epoch
+  /// (pm/reclaim.h). The cold overflow path (a lagging reader pinning a
+  /// full limbo) takes a pool-level mutex.
   void Free(void* p, std::size_t size) noexcept;
 
   /// Constructs a T in pool memory. The object is never destroyed by the
@@ -108,6 +128,15 @@ class Pool {
     hook_ = fn;
   }
 
+  /// Observation hook: called on every Free before the block enters the
+  /// reclaimer. crashsim uses it to Release() freed memory from the
+  /// simulated-PM domain, so simulated runs catch use-after-free.
+  using FreeHook = void (*)(void* ctx, void* p, std::size_t size);
+  void SetFreeHook(FreeHook fn, void* ctx) {
+    free_hook_ctx_ = ctx;
+    free_hook_ = fn;
+  }
+
   /// 8-byte root pointer slot in the pool header: set atomically + persisted.
   /// This is how an application finds its tree after restart.
   void SetRoot(const void* p);
@@ -119,10 +148,13 @@ class Pool {
 
   /// Bytes reserved from the region (header + arena chunks + direct blocks).
   /// Grows at chunk granularity: small allocations served from a thread's
-  /// current arena chunk do not move it.
+  /// current arena chunk — or recycled from a free list — do not move it.
   std::size_t used() const;
   std::size_t capacity() const { return capacity_; }
   std::size_t freed_bytes() const;
+
+  /// Bytes served from the free lists instead of the bump path (monotonic).
+  std::size_t recycled_bytes() const;
 
   /// Effective arena chunk size for this pool (0 = arenas disabled).
   std::size_t chunk_size() const { return chunk_size_; }
@@ -134,13 +166,16 @@ class Pool {
     return a >= b && a < b + capacity_;
   }
 
-  /// Resets the bump pointer, discarding all allocations and invalidating
-  /// every thread's cached arena chunk. Test helper; not crash-consistent
-  /// and must not race with allocation.
+  /// Resets the bump pointer and the free lists, discarding all allocations
+  /// and invalidating every thread's cached arena chunk and free cache.
+  /// Test helper; not crash-consistent and must not race with allocation.
   void Reset();
 
  private:
   struct Header;  // lives at offset 0 of the mapping
+  struct ReclaimSlot;
+  static constexpr int kReclaimSlots = 4;
+  static thread_local ReclaimSlot t_reclaim[kReclaimSlots];
 
   Header* header() const;
 
@@ -151,6 +186,18 @@ class Pool {
   /// Thread-local arena fast path; nullptr when the request must go global.
   void* ArenaAlloc(std::size_t size, std::size_t align);
 
+  /// Free-list fast path; nullptr when nothing recyclable fits.
+  void* TryRecycle(std::size_t size, std::size_t align);
+
+  ReclaimSlot* ReclaimFor(bool create);
+  void DrainLimbo(ReclaimSlot* slot);
+  void CachePut(ReclaimSlot* slot, int cls, std::uint64_t off,
+                std::uint32_t size);
+  void PushGlobal(int cls, std::uint64_t off, std::uint32_t size);
+  std::uint64_t PopGlobal(int cls, std::uint32_t* size);
+  void TryDrainOverflow();
+  void SanitizeFreeLists();
+
   void* base_ = nullptr;
   std::size_t capacity_ = 0;
   std::size_t chunk_size_ = 0;
@@ -158,10 +205,26 @@ class Pool {
   std::atomic<std::uint64_t> epoch_{0};  // bumped by Reset() to kill arenas
   AllocHook hook_ = nullptr;
   void* hook_ctx_ = nullptr;
+  FreeHook free_hook_ = nullptr;
+  void* free_hook_ctx_ = nullptr;
   bool file_backed_ = false;
   bool reopened_ = false;
   bool persist_meta_ = false;
+  bool persist_free_ = false;
   int fd_ = -1;
+
+  // Overflow limbo: deferred frees evicted from a full thread-local limbo
+  // while a lagging reader blocks recycling. Cold path only.
+  struct OverflowEntry {
+    std::uint64_t off;
+    std::uint32_t size;
+    std::uint64_t stamp;
+  };
+  std::mutex overflow_mu_;
+  std::vector<OverflowEntry> overflow_limbo_;
+  // Relaxed mirror of overflow_limbo_.size(): lets allocation misses skip
+  // the mutex entirely on pools that have no parked overflow.
+  std::atomic<std::size_t> overflow_n_{0};
 };
 
 }  // namespace fastfair::pm

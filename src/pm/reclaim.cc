@@ -1,0 +1,116 @@
+#include "pm/reclaim.h"
+
+#include <atomic>
+
+#include "common/defs.h"
+
+namespace fastfair::pm {
+
+namespace {
+
+// One pin slot per live thread, claimed on first EpochGuard and released at
+// thread exit. Cache-line padded: a pin writes only its own line.
+struct alignas(kCacheLineSize) PinSlot {
+  std::atomic<std::uint64_t> pinned{0};  // 0 = unpinned, else pinned epoch
+  std::atomic<bool> claimed{false};
+};
+
+constexpr int kMaxSlots = 256;
+PinSlot g_slots[kMaxSlots];
+
+// One past the highest slot index ever claimed: bounds MinPinned's scan to
+// the live thread count instead of all 16 KB of padded slots.
+std::atomic<int> g_slot_count{0};
+
+std::atomic<std::uint64_t> g_epoch{1};
+
+// Threads beyond kMaxSlots pin here; any overflow pin conservatively blocks
+// all recycling (MinPinned reports epoch 0, older than every stamp).
+std::atomic<std::uint64_t> g_overflow_pins{0};
+
+struct ThreadPin {
+  PinSlot* slot = nullptr;
+  int depth = 0;
+
+  ThreadPin() {
+    for (int i = 0; i < kMaxSlots; ++i) {
+      bool expected = false;
+      if (g_slots[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        slot = &g_slots[i];
+        int count = g_slot_count.load(std::memory_order_relaxed);
+        while (count < i + 1 &&
+               !g_slot_count.compare_exchange_weak(
+                   count, i + 1, std::memory_order_acq_rel)) {
+        }
+        break;
+      }
+    }
+  }
+  ~ThreadPin() {
+    if (slot != nullptr) {
+      slot->pinned.store(0, std::memory_order_release);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+ThreadPin& Pin() {
+  thread_local ThreadPin pin;
+  return pin;
+}
+
+}  // namespace
+
+EpochGuard::EpochGuard() {
+  ThreadPin& p = Pin();
+  if (p.depth++ != 0) return;
+  if (p.slot == nullptr) {
+    g_overflow_pins.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  // A stale (low) epoch value is conservative — it only delays recycling —
+  // so a relaxed read is fine; the *pin* must be seq_cst so it is globally
+  // visible before this thread's subsequent pointer loads (x86 allows
+  // store->load reordering for plain stores).
+  p.slot->pinned.store(g_epoch.load(std::memory_order_relaxed),
+                       std::memory_order_seq_cst);
+}
+
+EpochGuard::~EpochGuard() {
+  ThreadPin& p = Pin();
+  if (--p.depth != 0) return;
+  if (p.slot == nullptr) {
+    g_overflow_pins.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  p.slot->pinned.store(0, std::memory_order_release);
+}
+
+namespace epoch {
+
+std::uint64_t Current() { return g_epoch.load(std::memory_order_acquire); }
+
+std::uint64_t MinPinned() {
+  if (g_overflow_pins.load(std::memory_order_acquire) != 0) return 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  const int count = g_slot_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    const auto& s = g_slots[i];
+    if (!s.claimed.load(std::memory_order_acquire)) continue;
+    const std::uint64_t p = s.pinned.load(std::memory_order_acquire);
+    if (p != 0 && p < min) min = p;
+  }
+  return min;
+}
+
+bool TryAdvance() {
+  std::uint64_t e = g_epoch.load(std::memory_order_acquire);
+  if (MinPinned() < e) return false;  // lagging reader; bump is pointless
+  return g_epoch.compare_exchange_strong(e, e + 1,
+                                         std::memory_order_acq_rel);
+}
+
+}  // namespace epoch
+
+}  // namespace fastfair::pm

@@ -1,0 +1,66 @@
+// Epoch-based deferred reclamation for pool memory (DESIGN.md §3.1).
+//
+// `Pool::Free` recycles blocks through per-size-class free lists, but the
+// paper's structures are read without locks: a search descending into a node
+// must never have that node handed out to another allocation while the read
+// is in flight.  The classic answer is epoch-based reclamation:
+//
+//  * Readers (and writers — any operation that traverses pool-resident
+//    structures) hold an `EpochGuard` for the duration of the operation.
+//    Pinning is one seq_cst store into a thread-private slot; unpinning is a
+//    release store.  No shared cache line is written by two threads.
+//  * `Pool::Free` stamps each freed block with the global epoch at free time
+//    and parks it in a per-thread limbo list.  A stamped block becomes
+//    *recyclable* only when every currently pinned guard holds an epoch
+//    strictly greater than the stamp (stamp < `epoch::MinPinned()`), i.e.
+//    every reader that could have obtained a reference before the block was
+//    unlinked has since unpinned.
+//
+// Why "every pinned epoch > stamp" suffices (no classic +2 grace period):
+// the freeing thread removes the last persistent reference *before* calling
+// Free, and Free reads the global epoch after that store (a seq_cst fence
+// inside Free orders the store before the load).  A reader that loaded the
+// stale reference did so before the unlink became visible, hence pinned
+// (seq_cst, so the pin is globally visible before the reader's subsequent
+// loads) before the freeing thread read the epoch — its pinned value is
+// therefore <= the stamp, and it blocks recycling until it unpins.  A
+// reader pinned at epoch > stamp pinned after the unlink was visible and
+// can only see the repaired reference.
+//
+// The epoch is process-global (one clock for every pool): conservative, but
+// pins are thread-private and the clock only advances opportunistically, so
+// the cost of the extra generality is nil.
+
+#pragma once
+
+#include <cstdint>
+
+namespace fastfair::pm {
+
+/// RAII reader pin. Cheap (two thread-private atomic stores) and reentrant:
+/// nested guards on one thread pin once. Every operation that traverses
+/// pool-resident structures without locks should hold one.
+class EpochGuard {
+ public:
+  EpochGuard();
+  ~EpochGuard();
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+};
+
+namespace epoch {
+
+/// Current global epoch (monotonic, starts at 1).
+std::uint64_t Current();
+
+/// Smallest epoch any live guard is pinned at; ~0 when nothing is pinned.
+std::uint64_t MinPinned();
+
+/// Bumps the global epoch unless some guard is still pinned at an older
+/// epoch (a lagging reader; bumping past it would be meaningless — safety
+/// comes from MinPinned, not from the clock). Returns true if bumped.
+bool TryAdvance();
+
+}  // namespace epoch
+
+}  // namespace fastfair::pm

@@ -20,7 +20,8 @@ namespace {
 std::unique_ptr<Index> MakeTable(std::string_view kind, pm::Pool* pool,
                                  std::uint32_t cardinality,
                                  Key (*first_key)(std::uint32_t)) {
-  const std::size_t shards = TryParseShardedKind(kind);
+  std::string inner;
+  const std::size_t shards = TryParseShardedKind(kind, &inner);
   if (shards == 0) return MakeIndex(kind, pool);
   std::vector<Key> bounds;
   bounds.reserve(shards - 1);
@@ -30,10 +31,20 @@ std::unique_ptr<Index> MakeTable(std::string_view kind, pm::Pool* pool,
   }
   return std::make_unique<ShardedIndex>(
       std::string(kind), std::move(bounds),
-      [pool](std::size_t) { return MakeIndex("fastfair", pool); });
+      [pool, inner](std::size_t) { return MakeIndex(inner, pool); });
 }
 
 }  // namespace
+
+bool Db::supports_concurrency() const {
+  for (const Index* t :
+       {warehouse_.get(), district_.get(), customer_.get(), item_.get(),
+        stock_.get(), order_.get(), neworder_.get(), orderline_.get(),
+        customer_order_.get()}) {
+    if (!t->supports_concurrency()) return false;
+  }
+  return true;
+}
 
 Db::Db(std::string_view kind, const Config& cfg, pm::Pool* pool)
     : cfg_(cfg), pool_(pool) {

@@ -33,6 +33,10 @@ class Db {
   const Config& config() const { return cfg_; }
   pm::Pool* pool() const { return pool_; }
 
+  /// True when every table index supports concurrent callers — the gate for
+  /// the multi-threaded RunMix overload.
+  bool supports_concurrency() const;
+
   Index& warehouse() { return *warehouse_; }
   Index& district() { return *district_; }
   Index& customer() { return *customer_; }
@@ -62,6 +66,15 @@ class Db {
   template <typename T>
   static void PersistRow(T* row) {
     pm::Persist(row, sizeof(T));
+  }
+
+  /// Returns a row's memory to the shared pool's reclaimer. The caller must
+  /// have removed (and persisted) the last index entry referencing the row
+  /// first; concurrent readers still holding the pointer are covered by the
+  /// per-transaction epoch guard (pm/reclaim.h).
+  template <typename T>
+  void FreeRow(T* row) {
+    pool_->Free(row, sizeof(T));
   }
 
  private:

@@ -1,8 +1,26 @@
 #include "tpcc/driver.h"
 
+#include <stdexcept>
+#include <vector>
+
+#include "bench/runner.h"
 #include "bench/stats.h"
 
 namespace fastfair::tpcc {
+
+namespace {
+
+TxnType PickTxn(const Mix& mix, Rng& rng) {
+  const auto roll = static_cast<int>(rng.NextBounded(100));
+  int acc = mix.pct[0];
+  if (roll < acc) return TxnType::kNewOrder;
+  if (roll < (acc += mix.pct[1])) return TxnType::kPayment;
+  if (roll < (acc += mix.pct[2])) return TxnType::kOrderStatus;
+  if (roll < (acc += mix.pct[3])) return TxnType::kDelivery;
+  return TxnType::kStockLevel;
+}
+
+}  // namespace
 
 const std::array<Mix, 4>& PaperMixes() {
   static const std::array<Mix, 4> mixes = {{
@@ -20,27 +38,49 @@ RunResult RunMix(Db& db, const Mix& mix, std::size_t num_txns,
   RunResult r;
   bench::Timer timer;
   for (std::size_t i = 0; i < num_txns; ++i) {
-    const auto roll = static_cast<int>(rng.NextBounded(100));
-    TxnType type;
-    int acc = mix.pct[0];
-    if (roll < acc) {
-      type = TxnType::kNewOrder;
-    } else if (roll < (acc += mix.pct[1])) {
-      type = TxnType::kPayment;
-    } else if (roll < (acc += mix.pct[2])) {
-      type = TxnType::kOrderStatus;
-    } else if (roll < (acc += mix.pct[3])) {
-      type = TxnType::kDelivery;
-    } else {
-      type = TxnType::kStockLevel;
-    }
-    if (RunTxn(db, rng, type)) {
+    if (RunTxn(db, rng, PickTxn(mix, rng))) {
       ++r.committed;
     } else {
       ++r.aborted;
     }
   }
   r.wall_ns = timer.ElapsedNs();
+  return r;
+}
+
+RunResult RunMix(Db& db, const Mix& mix, std::size_t num_txns,
+                 std::uint64_t seed, int nthreads) {
+  if (nthreads <= 1) return RunMix(db, mix, num_txns, seed);
+  if (!db.supports_concurrency()) {
+    throw std::invalid_argument(
+        "RunMix: table index kind does not support concurrent callers");
+  }
+  struct alignas(kCacheLineSize) Tally {
+    std::size_t committed = 0;
+    std::size_t aborted = 0;
+  };
+  std::vector<Tally> tallies(static_cast<std::size_t>(nthreads));
+  const std::uint64_t wall = bench::RunThreads(
+      nthreads, num_txns, [&](int t, std::size_t b, std::size_t e) {
+        // Golden-ratio stream split: thread streams are decorrelated but
+        // deterministic for a given (seed, nthreads).
+        Rng rng(seed + 0x9e3779b97f4a7c15ull *
+                           (static_cast<std::uint64_t>(t) + 1));
+        Tally& tally = tallies[static_cast<std::size_t>(t)];
+        for (std::size_t i = b; i < e; ++i) {
+          if (RunTxn(db, rng, PickTxn(mix, rng))) {
+            ++tally.committed;
+          } else {
+            ++tally.aborted;
+          }
+        }
+      });
+  RunResult r;
+  r.wall_ns = wall;
+  for (const auto& t : tallies) {
+    r.committed += t.committed;
+    r.aborted += t.aborted;
+  }
   return r;
 }
 

@@ -34,4 +34,16 @@ struct RunResult {
 RunResult RunMix(Db& db, const Mix& mix, std::size_t num_txns,
                  std::uint64_t seed);
 
+/// Multi-threaded variant built on bench::RunThreads: the transaction count
+/// is partitioned across `nthreads` terminals, each with its own
+/// deterministic rng stream; commit/abort tallies are aggregated per thread
+/// (no shared counters on the hot path) and summed after the join, and
+/// wall_ns is the slowest thread (barrier start). Requires every table
+/// index to support concurrent callers (Db::supports_concurrency); row
+/// updates follow TPC-C's per-terminal pattern and are unsynchronized, so
+/// concurrent terminals hitting one district can interleave — fine for
+/// throughput measurement, not a serializability claim.
+RunResult RunMix(Db& db, const Mix& mix, std::size_t num_txns,
+                 std::uint64_t seed, int nthreads);
+
 }  // namespace fastfair::tpcc

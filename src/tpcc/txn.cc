@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "pm/reclaim.h"
+
 namespace fastfair::tpcc {
 
 namespace {
@@ -159,7 +161,12 @@ bool RunDelivery(Db& db, Rng& rng) {
     const std::size_t got = db.neworder().Scan(lo, 1, buf);
     if (got == 0 || buf[0].key >= hi) continue;  // district fully delivered
     const auto o_id = static_cast<std::uint32_t>((buf[0].key - 1) & 0xffffffff);
-    db.neworder().Remove(buf[0].key);
+    // Remove returns true for exactly one of any racing deliverers; the
+    // winner owns the row and recycles it through the pool (the index entry
+    // — the only persistent reference — is gone and persisted by then).
+    if (db.neworder().Remove(buf[0].key)) {
+      db.FreeRow(Db::Row<NewOrderRow>(buf[0].ptr));
+    }
 
     auto* orow = Db::Row<OrderRow>(db.order().Search(OrderKey(w, d, o_id)));
     if (orow == nullptr) continue;
@@ -229,6 +236,10 @@ bool RunStockLevel(Db& db, Rng& rng) {
 }
 
 bool RunTxn(Db& db, Rng& rng, TxnType type) {
+  // Pin the reclamation epoch for the whole transaction: rows freed by a
+  // concurrent Delivery cannot be recycled while this transaction may still
+  // hold their pointers out of an index scan.
+  pm::EpochGuard guard;
   switch (type) {
     case TxnType::kNewOrder:
       return RunNewOrder(db, rng);

@@ -103,9 +103,10 @@ TEST_P(IndexDifferential, ScanMatchesSortedModel) {
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, IndexDifferential,
     ::testing::Values("fastfair", "fastfair-leaflock", "fastfair-logging",
-                      "fastfair-binary", "fastfair-1k", "wbtree", "fptree",
-                      "wort", "skiplist", "blink", "sharded-fastfair",
-                      "sharded-fastfair:3"),
+                      "fastfair-binary", "fastfair-1k", "fastfair-reclaim",
+                      "wbtree", "fptree", "wort", "skiplist", "blink",
+                      "sharded-fastfair", "sharded-fastfair:3",
+                      "sharded-fptree:3", "sharded-fastfair-reclaim:3"),
     [](const auto& info) {
       std::string name = info.param;
       for (auto& c : name) {

@@ -79,7 +79,9 @@ TEST(Pool, UsedGrowsAtChunkGranularity) {
   EXPECT_GT(pool.used(), u1);
 }
 
-TEST(Pool, FreeIsStatisticsOnly) {
+TEST(Pool, FreeUpdatesFreedByteAccounting) {
+  // freed_bytes is the monotonic total of every Free, whether or not the
+  // block is recyclable (see pool_freelist_test for the reclaimer itself).
   Pool pool(1 << 20);
   void* p = pool.Alloc(256);
   EXPECT_EQ(pool.freed_bytes(), 0u);

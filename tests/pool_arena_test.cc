@@ -257,7 +257,12 @@ TEST(PoolArena, SimMemInterceptsPoolAllocations) {
   // Unadopted memory still faults, so the domain is tight.
   std::uint64_t outside = 0;
   EXPECT_THROW(sim.Store64(&outside, 1), std::out_of_range);
+  // Freed memory leaves the domain (use-after-free throws in simulation)
+  // and re-enters it when the pool recycles the block.
+  pool.Free(words, 64);
+  EXPECT_THROW(sim.Store64(words, 43), std::out_of_range);
   pool.SetAllocHook(nullptr, nullptr);
+  pool.SetFreeHook(nullptr, nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,262 @@
+// Tests for the two-level free-list reclaimer in pm::Pool (DESIGN.md §3.1):
+// epoch-deferred recycling, cross-thread Free -> reuse accounting, bounded
+// used() under churn, and the crash-safe persistent free lists.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pm/persist.h"
+#include "pm/pool.h"
+#include "pm/reclaim.h"
+
+namespace fastfair::pm {
+namespace {
+
+TEST(PoolFreeList, FreedBlockIsRecycledForAMatchingSize) {
+  Pool pool(std::size_t{16} << 20);
+  void* a = pool.Alloc(512);
+  pool.Free(a, 512);
+  // The block parks in limbo until the epoch moves past its stamp, then a
+  // same-class allocation must reuse it instead of the bump path.
+  std::set<void*> seen;
+  const std::size_t used_before = pool.used();
+  for (int i = 0; i < 200 && seen.find(a) == seen.end(); ++i) {
+    void* p = pool.Alloc(512);
+    seen.insert(p);
+    pool.Free(p, 512);
+    epoch::TryAdvance();
+  }
+  EXPECT_TRUE(seen.count(a)) << "freed block never recycled";
+  EXPECT_EQ(pool.used(), used_before) << "recycling must not move the bump";
+  EXPECT_GT(pool.recycled_bytes(), 0u);
+}
+
+TEST(PoolFreeList, EpochGuardDefersRecycling) {
+  Pool pool(std::size_t{16} << 20);
+  void* a = pool.Alloc(256);
+  auto* guard = new EpochGuard;  // a "reader" pinned before the free
+  pool.Free(a, 256);
+  // While the reader is pinned at the free's epoch, the block must never
+  // come back from Alloc, no matter how often the clock is nudged.
+  for (int i = 0; i < 300; ++i) {
+    epoch::TryAdvance();
+    void* p = pool.Alloc(256);
+    EXPECT_NE(p, a) << "block recycled under a pinned reader";
+    pool.Free(p, 256);
+  }
+  delete guard;  // reader done: the block may now circulate again
+  // Allocate without freeing: drains the thread cache, limbo, the global
+  // list, and the overflow tier the pinned phase pushed `a` into.
+  std::set<void*> seen;
+  for (int i = 0; i < 500 && seen.find(a) == seen.end(); ++i) {
+    seen.insert(pool.Alloc(256));
+  }
+  EXPECT_TRUE(seen.count(a));
+}
+
+TEST(PoolFreeList, CrossThreadFreeThenReuse) {
+  // Allocate on thread A, free on thread B: the freed-bytes accounting and
+  // the recycle counters must both see the blocks, and thread B's frees
+  // must be reusable (the blocks reach the shared per-class lists).
+  Pool pool(std::size_t{16} << 20);
+  constexpr int kBlocks = 300;  // enough to overflow the freeing thread's
+                                // cache and force spills to the global list
+  std::vector<void*> blocks;
+  ResetStats();
+  for (int i = 0; i < kBlocks; ++i) blocks.push_back(pool.Alloc(512));
+  ASSERT_EQ(Stats().frees, 0u);
+  std::uint64_t b_frees = 0, b_free_bytes = 0, b_spills = 0;
+  std::thread b([&] {
+    ResetStats();
+    for (void* p : blocks) pool.Free(p, 512);
+    b_frees = Stats().frees;
+    b_free_bytes = Stats().free_bytes;
+    b_spills = Stats().freelist_spills;
+  });
+  b.join();
+  EXPECT_EQ(b_frees, static_cast<std::uint64_t>(kBlocks));
+  EXPECT_EQ(b_free_bytes, static_cast<std::uint64_t>(kBlocks) * 512);
+  EXPECT_GT(b_spills, 0u) << "cross-thread frees never reached the "
+                             "shared list";
+  EXPECT_EQ(pool.freed_bytes(), static_cast<std::uint64_t>(kBlocks) * 512);
+  // Thread A (this thread) must be able to recycle thread B's frees.
+  ResetStats();
+  std::set<void*> freed(blocks.begin(), blocks.end());
+  int recycled = 0;
+  for (int i = 0; i < 4 * kBlocks; ++i) {
+    epoch::TryAdvance();
+    void* p = pool.Alloc(512);
+    if (freed.count(p)) ++recycled;
+  }
+  EXPECT_GT(recycled, 0) << "no cross-thread block was ever reused";
+  EXPECT_EQ(Stats().recycles, static_cast<std::uint64_t>(recycled));
+  EXPECT_GT(Stats().freelist_refills, 0u);
+}
+
+TEST(PoolFreeList, ChurnLoopPlateausUsed) {
+  // Sustained alloc/free churn at several times the pool size: used() must
+  // plateau once the free lists warm up, and the recycle counters must
+  // account for the difference.
+  Pool pool(std::size_t{4} << 20);
+  ResetStats();
+  const ThreadStats before = Stats();
+  const std::size_t target = 3 * pool.capacity();
+  std::vector<void*> batch;
+  std::size_t used_after_warmup = 0;
+  while ((Stats() - before).alloc_bytes < target) {
+    batch.clear();
+    for (int i = 0; i < 256; ++i) batch.push_back(pool.Alloc(512));
+    for (void* p : batch) pool.Free(p, 512);
+    epoch::TryAdvance();
+    if (used_after_warmup == 0 &&
+        (Stats() - before).alloc_bytes > pool.capacity() / 4) {
+      used_after_warmup = pool.used();
+    }
+  }
+  ASSERT_GT(used_after_warmup, 0u);
+  EXPECT_LE(pool.used(), used_after_warmup + pool.chunk_size())
+      << "used() kept growing: reclamation is not closing the loop";
+  EXPECT_GT((Stats() - before).recycles, 0u);
+  EXPECT_GT(pool.recycled_bytes(), target / 2)
+      << "most of the churn volume should be served by recycling";
+}
+
+TEST(PoolFreeList, NonPowerOfTwoSameSizeChurnRecycles) {
+  // A freed block bins into floor(log2(size)) while the same-size request
+  // looks up ceil(log2(size)): the floor-class probe (with per-block
+  // sizes) must close that gap, or e.g. WORT's 136-byte nodes would never
+  // recycle under same-size churn.
+  Pool pool(std::size_t{16} << 20);
+  constexpr std::size_t kOdd = 136;
+  void* a = pool.Alloc(kOdd, 8);
+  pool.Free(a, kOdd);
+  std::set<void*> seen;
+  for (int i = 0; i < 400 && seen.find(a) == seen.end(); ++i) {
+    void* p = pool.Alloc(kOdd, 8);
+    seen.insert(p);
+    pool.Free(p, kOdd);
+    epoch::TryAdvance();
+  }
+  EXPECT_TRUE(seen.count(a)) << "non-power-of-2 block never recycled";
+  // The same floor-class entry must never serve a larger request.
+  void* big = pool.Alloc(200, 8);
+  EXPECT_NE(big, a);
+}
+
+TEST(PoolFreeList, IneligibleSizesAreAccountedButNotRecycled) {
+  Pool pool(std::size_t{16} << 20);
+  void* tiny = pool.Alloc(4, 8);
+  pool.Free(tiny, 4);  // below the next-link minimum: accounting only
+  const std::size_t big_size = std::size_t{2} << 20;
+  void* big = pool.Alloc(big_size);
+  pool.Free(big, big_size);  // above the largest class: accounting only
+  EXPECT_EQ(pool.freed_bytes(), 4u + big_size);
+  for (int i = 0; i < 100; ++i) {
+    epoch::TryAdvance();
+    EXPECT_NE(pool.Alloc(4, 8), tiny);
+  }
+  EXPECT_EQ(pool.recycled_bytes(), 0u);
+}
+
+TEST(PoolFreeList, ResetDropsParkedBlocks) {
+  Pool pool(std::size_t{16} << 20);
+  void* a = pool.Alloc(512);
+  pool.Free(a, 512);
+  pool.Reset();
+  // Parked blocks died with the reset: allocations come from the fresh
+  // bump region, and the recycle counter starts over.
+  EXPECT_EQ(pool.recycled_bytes(), 0u);
+  void* p = pool.Alloc(512);
+  EXPECT_TRUE(pool.Contains(p));
+  for (int i = 0; i < 50; ++i) {
+    epoch::TryAdvance();
+    pool.Alloc(512);
+  }
+  EXPECT_EQ(pool.recycled_bytes(), 0u);
+}
+
+TEST(PoolFreeList, PersistentListsSurviveReopen) {
+  const std::string path = ::testing::TempDir() + "/freelist_pool_test.pm";
+  std::remove(path.c_str());
+  Pool::Options opts;
+  opts.capacity = std::size_t{16} << 20;
+  opts.file_path = path;
+  opts.fixed_base = 0x5200'0000'0000ull;
+  opts.persist_metadata = true;
+  opts.persist_free_lists = true;
+  std::set<void*> freed;
+  {
+    Pool pool(opts);
+    ASSERT_FALSE(pool.reopened());
+    // Free enough same-class blocks that a batch reaches the persistent
+    // global list (the thread cache spills past kCacheCap).
+    std::vector<void*> blocks;
+    for (int i = 0; i < 64; ++i) blocks.push_back(pool.Alloc(512));
+    for (void* p : blocks) {
+      pool.Free(p, 512);
+      freed.insert(p);
+      epoch::TryAdvance();
+    }
+    // Cycle allocations so limbo drains and spills happen.
+    for (int i = 0; i < 64; ++i) {
+      epoch::TryAdvance();
+      void* p = pool.Alloc(64);
+      pool.Free(p, 64);
+    }
+  }
+  {
+    Pool pool(opts);
+    ASSERT_TRUE(pool.reopened());
+    // Recovery resumes recycling from the persisted lists: some allocation
+    // of the class must return a block freed before the "crash".
+    bool recycled = false;
+    for (int i = 0; i < 64 && !recycled; ++i) {
+      recycled = freed.count(pool.Alloc(512)) != 0;
+    }
+    EXPECT_TRUE(recycled) << "persistent free list lost across reopen";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PoolFreeList, ReopenSanitizesACorruptListHead) {
+  const std::string path = ::testing::TempDir() + "/freelist_corrupt_test.pm";
+  std::remove(path.c_str());
+  Pool::Options opts;
+  opts.capacity = std::size_t{4} << 20;
+  opts.file_path = path;
+  opts.fixed_base = 0x5300'0000'0000ull;
+  opts.persist_free_lists = true;
+  void* block = nullptr;
+  {
+    Pool pool(opts);
+    // Plant a torn push: a block whose next link is garbage, directly on
+    // the persistent list (simulated by freeing it, then scribbling).
+    std::vector<void*> blocks;
+    for (int i = 0; i < 64; ++i) blocks.push_back(pool.Alloc(512));
+    for (void* p : blocks) pool.Free(p, 512);
+    for (int i = 0; i < 64; ++i) {
+      epoch::TryAdvance();
+      pool.Free(pool.Alloc(64), 64);
+    }
+    block = blocks[0];
+    *static_cast<std::uint64_t*>(block) = ~std::uint64_t{0};  // garbage next
+  }
+  {
+    Pool pool(opts);  // must not crash or loop on the garbage link
+    ASSERT_TRUE(pool.reopened());
+    // Allocations still work; the sanitized list serves what it can and
+    // the bump path covers the rest.
+    for (int i = 0; i < 128; ++i) {
+      void* p = pool.Alloc(512);
+      EXPECT_TRUE(pool.Contains(p));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fastfair::pm

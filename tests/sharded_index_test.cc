@@ -233,5 +233,38 @@ TEST(ShardedIndex, RegisteredInAllIndexKinds) {
             kinds.end());
 }
 
+TEST(ShardedIndex, GeneralizedGrammarShardsAnyRegisteredKind) {
+  // "sharded-<any registered kind>[:N]" builds N range-partitioned
+  // sub-indexes of that kind.
+  pm::Pool pool(std::size_t{1} << 30);
+  for (const char* kind :
+       {"sharded-fptree:4", "sharded-wbtree:2", "sharded-skiplist",
+        "sharded-fastfair-reclaim:3", "sharded-wort:5"}) {
+    auto idx = MakeIndex(kind, &pool);
+    ASSERT_NE(idx, nullptr) << kind;
+    EXPECT_EQ(idx->name(), kind);
+    for (Key k = 1; k <= 2000; ++k) idx->Insert(k << 48, k);
+    EXPECT_EQ(idx->CountEntries(), 2000u) << kind;
+    for (Key k = 1; k <= 2000; k += 7) {
+      EXPECT_EQ(idx->Search(k << 48), k) << kind;
+      EXPECT_TRUE(idx->Remove(k << 48)) << kind;
+    }
+    EXPECT_EQ(idx->Search(Key{1} << 48), kNoValue) << kind;  // removed above
+  }
+  // The parsed shard count flows through.
+  auto idx = MakeIndex("sharded-fptree:4", &pool);
+  auto* sharded = dynamic_cast<ShardedIndex*>(idx.get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->num_shards(), 4u);
+  // Concurrency flag is the conjunction over sub-kind support.
+  EXPECT_TRUE(MakeIndex("sharded-fptree:2", &pool)->supports_concurrency());
+  EXPECT_FALSE(MakeIndex("sharded-wbtree:2", &pool)->supports_concurrency());
+  // Unknown inner kinds and nested sharding are rejected.
+  EXPECT_THROW(MakeIndex("sharded-btrfs:2", &pool), std::invalid_argument);
+  EXPECT_THROW(MakeIndex("sharded-", &pool), std::invalid_argument);
+  EXPECT_THROW(MakeIndex("sharded-sharded-fastfair:2", &pool),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fastfair

@@ -124,6 +124,36 @@ TEST(TpccDriver, RunMixExecutesAllTransactions) {
   EXPECT_GT(r.Kops(), 0.0);
 }
 
+TEST(TpccDriver, MultiThreadedRunMixAggregatesPerThreadTallies) {
+  pm::Pool pool(3u << 30);
+  Db db("sharded-fastfair:4", SmallConfig(), &pool);
+  ASSERT_TRUE(db.supports_concurrency());
+  const auto r = RunMix(db, PaperMixes()[0], 800, 77, 4);
+  // Every transaction is accounted exactly once across the four terminals.
+  EXPECT_EQ(r.committed + r.aborted, 800u);
+  EXPECT_GT(r.committed, 700u);
+  EXPECT_GT(r.Kops(), 0.0);
+  // nthreads <= 1 falls back to the single-threaded driver, bit-for-bit.
+  pm::Pool pool1(3u << 30);
+  Db db1("fastfair", SmallConfig(), &pool1);
+  const auto a = RunMix(db1, PaperMixes()[0], 300, 99, 1);
+  pm::Pool pool2(3u << 30);
+  Db db2("fastfair", SmallConfig(), &pool2);
+  const auto b = RunMix(db2, PaperMixes()[0], 300, 99);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted, b.aborted);
+}
+
+TEST(TpccDriver, MultiThreadedRunMixRejectsNonConcurrentKinds) {
+  pm::Pool pool(3u << 30);
+  Db db("wbtree", SmallConfig(), &pool);
+  EXPECT_FALSE(db.supports_concurrency());
+  EXPECT_THROW(RunMix(db, PaperMixes()[0], 100, 5, 2), std::invalid_argument);
+  // Single-threaded still fine.
+  const auto r = RunMix(db, PaperMixes()[0], 100, 5, 1);
+  EXPECT_EQ(r.committed + r.aborted, 100u);
+}
+
 class TpccCrossIndex : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(TpccCrossIndex, SameSeedSameCommitCount) {
