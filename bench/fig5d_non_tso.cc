@@ -1,5 +1,5 @@
 // Figure 5(d): insert time vs PM write latency on a *non-TSO* architecture
-// (the paper's ARM/Nexus 5 experiment, emulated per DESIGN.md §4.4).
+// (the paper's ARM/Nexus 5 experiment, emulated per DESIGN.md §5.4).
 //
 // In non-TSO mode every mfence_IF_NOT_TSO() in FAST executes a real fence
 // plus a configurable `dmb` cost surrogate; the paper measured 16.2

@@ -9,13 +9,18 @@
 //
 // --threads=N runs each mix with N concurrent terminals (tpcc::RunMix
 // multi-threaded overload); kinds whose indexes do not support concurrent
-// callers are skipped for N > 1. A sweep over sharded-fastfair shows the
+// callers are skipped for N > 1. A sweep over the sharded kind shows the
 // sharding win end-to-end — on multi-core hardware only (EXPERIMENTS.md).
+// --sharding selects its partitioning: range (per-warehouse boundary
+// cuts), hash (fibonacci hash over the packed keys — no boundary
+// derivation needed), or adaptive (range + a Rebalance() pass over every
+// table after population).
 
 #include <cstdio>
 
 #include "bench/options.h"
 #include "bench/table.h"
+#include "index/sharded.h"
 #include "tpcc/driver.h"
 
 int main(int argc, char** argv) {
@@ -71,6 +76,16 @@ int main(int argc, char** argv) {
         pm::SetConfig(pm::Config{});  // populate at DRAM speed
         pm::Pool pool(std::size_t{8} << 30);
         tpcc::Db db(kind, cfg, &pool);
+        if (opt.AdaptiveSharding()) {
+          // Re-derive each range-sharded table's boundaries from the real
+          // row distribution (the static per-warehouse cuts ignore that
+          // e.g. ORDER-LINE rows cluster by district).
+          for (Index* t : db.tables()) {
+            if (auto* sharded = dynamic_cast<ShardedIndex*>(t)) {
+              sharded->Rebalance();
+            }
+          }
+        }
         pm::SetConfig(pmcfg);
         const auto r = tpcc::RunMix(db, mix, txns, opt.seed, t);
         pm::SetConfig(pm::Config{});

@@ -12,6 +12,7 @@
 // contention. Run on a multi-core box for the paper's scaling curves.
 
 #include <cstdio>
+#include <optional>
 
 #include "bench/options.h"
 #include "bench/runner.h"
@@ -19,10 +20,19 @@
 #include "bench/table.h"
 #include "bench/workload.h"
 #include "index/index.h"
+#include "index/sharded.h"
 
 namespace {
 
 using namespace fastfair;
+
+// --sharding=adaptive: recompute the range-sharded kind's boundaries from
+// the loaded key distribution before the timed phase (no-op for the other
+// kinds; the hashed kind needs no rebalance by construction).
+void MaybeRebalance(Index* idx, const bench::Options& opt) {
+  if (!opt.AdaptiveSharding()) return;
+  if (auto* sharded = dynamic_cast<ShardedIndex*>(idx)) sharded->Rebalance();
+}
 
 double RunSearch(Index* idx, const std::vector<Key>& keys, int threads) {
   const std::uint64_t wall =
@@ -74,16 +84,31 @@ int main(int argc, char** argv) {
   // Paper: 50 M preload; ops scaled alongside.
   const std::size_t preload_n = opt.ScaledN(50000000);
   const std::size_t ops_n = preload_n;
-  const auto preload = bench::UniformKeys(preload_n, opt.seed);
-  const auto extra = bench::UniformKeys(ops_n, opt.seed ^ 0x1234567);
-  const auto mixed = bench::MixedOps(ops_n, ~std::uint64_t{0} - 1, opt.seed);
+  // --skew=theta swaps the paper's uniform keys for zipfian draws whose hot
+  // ranks cluster in key space (EXPERIMENTS.md "Skewed workloads"): the
+  // sweep then shows range sharding collapsing onto the hot shard while
+  // --sharding=hash|adaptive keep the shards balanced. One generator for
+  // all three streams — its zeta setup is O(universe), minutes at paper
+  // scale if repeated.
+  const std::uint64_t zipf_universe = preload_n * 4;
+  std::optional<bench::ZipfianGenerator> zipf;
+  if (opt.skew > 0.0) zipf.emplace(zipf_universe, opt.skew);
+  const auto preload = zipf ? bench::ZipfianKeys(preload_n, *zipf, opt.seed)
+                            : bench::UniformKeys(preload_n, opt.seed);
+  const auto extra =
+      zipf ? bench::ZipfianKeys(ops_n, *zipf, opt.seed ^ 0x1234567)
+           : bench::UniformKeys(ops_n, opt.seed ^ 0x1234567);
+  const auto mixed = zipf ? bench::MixedOpsZipfian(ops_n, *zipf, opt.seed)
+                          : bench::MixedOps(ops_n, ~std::uint64_t{0} - 1,
+                                            opt.seed);
 
   pm::Config cfg;
   cfg.write_latency_ns = 300;  // paper: write 300 ns, read = DRAM
   std::printf(
       "Figure 7: thread scalability, %zu preloaded keys, write latency "
-      "300ns\nNOTE: this host has limited cores; see EXPERIMENTS.md.\n",
-      preload_n);
+      "300ns, skew theta=%.2f, sharding=%s\nNOTE: this host has limited "
+      "cores; see EXPERIMENTS.md.\n",
+      preload_n, opt.skew, opt.sharding.c_str());
 
   // The sharded kind (per-thread arenas + range-partitioned trees) rides
   // along in every workload; --shards selects its shard count.
@@ -99,6 +124,7 @@ int main(int argc, char** argv) {
     pm::Pool pool(std::size_t{8} << 30);
     auto idx = MakeIndex(kind, &pool);
     bench::LoadIndex(idx.get(), preload);
+    MaybeRebalance(idx.get(), opt);
     pm::SetConfig(cfg);
     for (const int t : opt.threads) {
       table.AddRow({"search", kind, std::to_string(t),
@@ -111,6 +137,7 @@ int main(int argc, char** argv) {
       pm::Pool pool(std::size_t{8} << 30);
       auto idx = MakeIndex(kind, &pool);
       bench::LoadIndex(idx.get(), preload);
+      MaybeRebalance(idx.get(), opt);
       pm::SetConfig(cfg);
       table.AddRow({"insert", kind, std::to_string(t),
                     bench::Table::Num(RunInsert(idx.get(), extra, t))});
@@ -122,6 +149,7 @@ int main(int argc, char** argv) {
       pm::Pool pool(std::size_t{8} << 30);
       auto idx = MakeIndex(kind, &pool);
       bench::LoadIndex(idx.get(), preload);
+      MaybeRebalance(idx.get(), opt);
       pm::SetConfig(cfg);
       table.AddRow({"mixed", kind, std::to_string(t),
                     bench::Table::Num(RunMixed(idx.get(), mixed, t))});

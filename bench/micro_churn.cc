@@ -8,14 +8,21 @@
 // difference. The run *fails* (non-zero exit) on pool exhaustion or if no
 // block was ever recycled, so CI can smoke it (ci-scale job).
 //
-// Kinds: fastfair-reclaim (empty-leaf unlink + free), its sharded variant,
-// and wort (leaf/obsolete-node frees on its natural paths). Other registry
-// kinds only ever free logically and are not interesting here.
+// Kinds: fastfair-reclaim (empty-leaf unlink + free), its sharded and
+// hashed variants, and wort (leaf/obsolete-node frees on its natural
+// paths). Other registry kinds only ever free logically and are not
+// interesting here.
 //
 // --churn=R caps the number of rounds (default: run until the volume
-// target); --n sets the per-round working set.
+// target); --n sets the per-round working set. --skew=theta draws each
+// round's keys zipfian instead of uniform, concentrating the churn on the
+// hot end of the window — the imbalance counters of the sharded kinds and
+// the hashed kind's k-way scan merge (verified sorted after the run) then
+// get exercised under the distribution they exist for.
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,7 +51,8 @@ struct ChurnResult {
 
 ChurnResult RunChurn(const std::string& kind, std::size_t capacity,
                      std::size_t n, std::size_t max_rounds,
-                     std::uint64_t seed, bool slide) {
+                     std::uint64_t seed, bool slide, double skew,
+                     std::size_t shards) {
   pm::Pool pool(capacity);
   auto idx = MakeIndex(kind, &pool);
   ChurnResult r;
@@ -59,16 +67,51 @@ ChurnResult RunChurn(const std::string& kind, std::size_t capacity,
   // drifting key space inherently grows its inner structure; recycling
   // there is about the per-key leaf records and superseded nodes.
   const Key span = static_cast<Key>(n) * 32;
+  // One zipfian generator for the run (zeta setup is O(span)); per-round
+  // draws are offsets into the current window, like the uniform path.
+  Rng zipf_rng(seed ^ 0x51e9ull);
+  std::optional<bench::ZipfianGenerator> zipf;
+  if (skew > 0.0) zipf.emplace(span, skew);
   try {
     while (r.volume < target && r.rounds < max_rounds) {
       auto keys =
-          bench::UniformKeysInRange(n, span, seed ^ (r.rounds * 0x9e37ull));
+          zipf ? bench::ZipfianKeysInRange(n, *zipf, zipf_rng)
+               : bench::UniformKeysInRange(n, span,
+                                           seed ^ (r.rounds * 0x9e37ull));
       if (slide) {
         const Key base = static_cast<Key>(r.rounds) * span;
         for (Key& k : keys) k += base;
       }
       for (const Key k : keys) idx->Insert(k, bench::ValueFor(k));
+      // Exercise the scan path (for the hashed kind: the k-way merge) while
+      // the round's window is populated, and fail loudly on mis-ordering.
+      std::vector<core::Record> out(256);
+      const std::size_t got = idx->Scan(0, out.size(), out.data());
+      for (std::size_t i = 1; i < got; ++i) {
+        if (out[i - 1].key >= out[i].key) {
+          std::fprintf(stderr, "FAIL: %s scan not strictly sorted\n",
+                       kind.c_str());
+          std::exit(1);
+        }
+      }
       for (const Key k : keys) idx->Remove(k);
+      if (slide) {
+        // Left-edge sweep: a handful of (absent-key) ops keyed at the
+        // drained window's bottom. The reclaimer piggybacks on operations
+        // (DESIGN.md §3.1) — a run whose repair found no live key to its
+        // right, and mid-chain leaves that emptied after the last op to
+        // their left, wait for a traversal that re-enters the range from
+        // the left. Pure sliding churn never re-enters, the pathological
+        // zero-revisit case (ROADMAP lists a background sweeper as the
+        // traffic-independent answer); these ops model the occasional
+        // revisit any real workload has. Spread over enough consecutive
+        // keys that hash-sharded kinds sweep every shard, not just the
+        // one the base key routes to: 8 draws per shard beats the coupon
+        // collector's ~S·ln(S) up to kMaxShards (ln 1024 ≈ 7).
+        const Key sweep = std::max<Key>(64, 8 * shards);
+        const Key base = static_cast<Key>(r.rounds) * span;
+        for (Key k = 1; k <= sweep; ++k) idx->Remove(base + k);
+      }
       r.rounds += 1;
       r.volume = (pm::Stats() - before).alloc_bytes;
     }
@@ -100,23 +143,32 @@ int main(int argc, char** argv) {
     bool slide;
   };
   const std::size_t cap = ci ? (std::size_t{8} << 20) : (std::size_t{32} << 20);
+  // The hashed target's shard count is capped (visibly — the kind string in
+  // the output names the real count): every round fully drains all N trees,
+  // and a complete drain leaves O(1) unreclaimable tombstone nodes per tree
+  // (DESIGN.md §4.3) — residue ∝ N × rounds, which for large N outgrows any
+  // pool before the 10x volume target. That is the zero-revisit pathology
+  // the ROADMAP background sweeper will close; the churn gate exercises
+  // reclamation, not shard-count scaling (bench_micro_skew covers that).
+  const std::size_t hashed_shards = std::min<std::size_t>(opt.shards, 16);
   const std::vector<Target> targets = {
       {"fastfair-reclaim", cap, true},
       {"sharded-fastfair-reclaim:" + std::to_string(opt.shards), cap, true},
+      {"hashed-fastfair-reclaim:" + std::to_string(hashed_shards), cap, true},
       {"wort", cap, false},
   };
 
   std::printf(
-      "Delete churn: insert+delete rounds of %zu fresh keys until alloc "
+      "Delete churn: insert+delete rounds of %zu %s keys until alloc "
       "volume reaches %zux pool capacity (bounded used() = reclamation "
       "works)\n",
-      n, kVolumeFactor);
+      n, opt.skew > 0.0 ? "zipfian" : "fresh", kVolumeFactor);
   bench::Table table({"index", "pool_MB", "rounds", "alloc_MB", "used_MB",
                       "freed_MB", "recycles", "spills", "refills"});
   bool ok = true;
   for (const auto& t : targets) {
     const auto r = RunChurn(t.kind, t.capacity, n, max_rounds, opt.seed,
-                            t.slide);
+                            t.slide, opt.skew, opt.shards);
     table.AddRow({t.kind, bench::Table::Num(Mb(t.capacity)),
                   std::to_string(r.rounds), bench::Table::Num(Mb(r.volume)),
                   bench::Table::Num(Mb(r.used)),

@@ -1,0 +1,155 @@
+// Shard-imbalance microbenchmark: zipfian point-lookup workload over the
+// three partitioning strategies of the sharding tier (DESIGN.md §4).
+//
+// Loads a zipfian(theta) key set (hot ranks clustered at the low end of
+// the key space — bench::ZipfianKeys) into the range-sharded and the
+// hash-sharded kind, reports each shard layout's max/min per-shard entry
+// ratio and zipfian point-lookup throughput, then runs
+// ShardedIndex::Rebalance() on the range-sharded index and reports the
+// ratio again ("adaptive" row).
+//
+// This is a *gate*, not just a report (CI runs it at --scale=ci): it exits
+// non-zero unless
+//   * the hashed kind's entry ratio is <= 1.5 (hash partitioning is
+//     skew-immune),
+//   * Rebalance() brings the range-sharded ratio under 2.0, and
+//   * Rebalance() loses no keys (CountEntries before == after) and frees
+//     the moved-out nodes (pm free counters advance; inner kind is
+//     fastfair-reclaim so drained leaves really return to the pool).
+//
+// --skew sets theta (default 0.99, the YCSB constant); --shards the shard
+// count. EXPERIMENTS.md ("Skewed workloads") records measured ratios.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/options.h"
+#include "bench/runner.h"
+#include "bench/stats.h"
+#include "bench/table.h"
+#include "bench/workload.h"
+#include "index/hash_sharded.h"
+#include "index/sharded.h"
+#include "pm/persist.h"
+#include "pm/pool.h"
+
+namespace {
+
+using namespace fastfair;
+
+double LookupKops(const Index& idx, const std::vector<Key>& queries) {
+  bench::Timer timer;
+  std::size_t hits = 0;
+  for (const Key k : queries) hits += idx.Search(k) != kNoValue;
+  const std::uint64_t wall = timer.ElapsedNs();
+  if (hits == 0) {
+    std::fprintf(stderr, "FAIL: zipfian lookups never hit\n");
+    std::exit(1);
+  }
+  return bench::Kops(queries.size(), wall);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::ParseOptions(argc, argv);
+  if (opt.skew_set && opt.skew == 0.0) {
+    // This bench *is* the zipfian sweep; a uniform run would gate nothing.
+    std::fprintf(stderr,
+                 "bench_micro_skew needs --skew in (0, 1); for uniform-key "
+                 "behaviour see bench_micro_churn / the fig drivers\n");
+    return 2;
+  }
+  const double theta = opt.skew_set ? opt.skew : 0.99;
+  const std::size_t n = opt.ScaledN(10000000);  // ci: 50 K, small: 500 K
+  const std::uint64_t universe = n * 4;
+  // One generator, two streams: setup is O(universe) (workload.h).
+  bench::ZipfianGenerator zipf(universe, theta);
+  const auto keys = bench::ZipfianKeys(n, zipf, opt.seed);
+  const auto queries = bench::ZipfianKeys(n, zipf, opt.seed ^ 0xbadd5eedull);
+
+  // fastfair-reclaim inner kind: Rebalance()'s phase-3 removes then really
+  // free the drained leaves, so the "freed_MB > 0" gate is meaningful.
+  const std::string range_kind =
+      "sharded-fastfair-reclaim:" + std::to_string(opt.shards);
+  const std::string hash_kind =
+      "hashed-fastfair-reclaim:" + std::to_string(opt.shards);
+
+  std::printf(
+      "Shard imbalance under zipfian(%.2f) keys: %zu draws over %llu ranks, "
+      "%zu shards (ratio = max/min per-shard entries)\n",
+      theta, n, static_cast<unsigned long long>(universe), opt.shards);
+  bench::Table table({"sharding", "index", "ratio", "lookup_Kops",
+                      "entries", "moved", "freed_MB"});
+  bool ok = true;
+
+  // --- range sharding, then Rebalance() (the "adaptive" row) ---------------
+  {
+    pm::Pool pool(std::size_t{1} << 30);
+    auto idx = MakeIndex(range_kind, &pool);
+    bench::LoadIndex(idx.get(), keys);
+    auto* sharded = dynamic_cast<ShardedIndex*>(idx.get());
+    if (sharded == nullptr) std::abort();
+    const double ratio_range = ImbalanceRatio(sharded->ShardEntryCounts());
+    const std::size_t entries = idx->CountEntries();
+    table.AddRow({"range", range_kind, bench::Table::Num(ratio_range),
+                  bench::Table::Num(LookupKops(*idx, queries)),
+                  std::to_string(entries), "0", "0"});
+
+    pm::ResetStats();
+    const pm::ThreadStats before = pm::Stats();
+    const auto reb = sharded->Rebalance();
+    const pm::ThreadStats delta = pm::Stats() - before;
+    const double ratio_adaptive = ImbalanceRatio(sharded->ShardEntryCounts());
+    const std::size_t entries_after = idx->CountEntries();
+    table.AddRow({"adaptive", range_kind, bench::Table::Num(ratio_adaptive),
+                  bench::Table::Num(LookupKops(*idx, queries)),
+                  std::to_string(entries_after), std::to_string(reb.moved),
+                  bench::Table::Num(static_cast<double>(delta.free_bytes) /
+                                    (1024.0 * 1024.0))});
+    if (entries_after != entries) {
+      std::fprintf(stderr, "FAIL: Rebalance lost keys (%zu -> %zu)\n",
+                   entries, entries_after);
+      ok = false;
+    }
+    if (ratio_adaptive >= 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: rebalanced range imbalance %.2f (gate: < 2.0, "
+                   "was %.2f)\n",
+                   ratio_adaptive, ratio_range);
+      ok = false;
+    }
+    if (reb.moved > 0 && delta.free_bytes == 0) {
+      std::fprintf(stderr,
+                   "FAIL: migration moved %zu entries but freed nothing\n",
+                   reb.moved);
+      ok = false;
+    }
+  }
+
+  // --- hash sharding -------------------------------------------------------
+  {
+    pm::Pool pool(std::size_t{1} << 30);
+    auto idx = MakeIndex(hash_kind, &pool);
+    bench::LoadIndex(idx.get(), keys);
+    auto* hashed = dynamic_cast<HashShardedIndex*>(idx.get());
+    if (hashed == nullptr) std::abort();
+    const double ratio_hash = ImbalanceRatio(hashed->ShardEntryCounts());
+    table.AddRow({"hash", hash_kind, bench::Table::Num(ratio_hash),
+                  bench::Table::Num(LookupKops(*idx, queries)),
+                  std::to_string(idx->CountEntries()), "0", "0"});
+    if (ratio_hash > 1.5) {
+      std::fprintf(stderr, "FAIL: hashed imbalance %.2f (gate: <= 1.5)\n",
+                   ratio_hash);
+      ok = false;
+    }
+  }
+
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+  return ok ? 0 : 1;
+}

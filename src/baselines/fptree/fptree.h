@@ -13,7 +13,7 @@
 //    stays consistent at every step, and slot positions are preserved so the
 //    old leaf is truncated by a single bitmap store.
 //
-// Concurrency substitution (DESIGN.md §4.3): the paper synchronizes inner
+// Concurrency substitution (DESIGN.md §5.3): the paper synchronizes inner
 // traversal with Intel TSX (HTM). This container is not HTM-capable, so a
 // std::shared_mutex over the inner structure plus per-leaf reader-writer
 // spinlocks stand in. Readers take shared locks only; writers exclusive-lock

@@ -18,7 +18,8 @@ std::size_t Options::ScaledN(std::size_t paper_n) const {
 }
 
 std::string Options::ShardedKind() const {
-  return "sharded-fastfair:" + std::to_string(shards);
+  return (sharding == "hash" ? "hashed-fastfair:" : "sharded-fastfair:") +
+         std::to_string(shards);
 }
 
 Options ParseOptions(int argc, char** argv) {
@@ -51,6 +52,22 @@ Options ParseOptions(int argc, char** argv) {
         if (comma == nullptr) break;
         p = comma + 1;
       }
+    } else if (const char* v = val("--sharding=")) {
+      o.sharding = v;
+      if (o.sharding != "range" && o.sharding != "hash" &&
+          o.sharding != "adaptive") {
+        std::fprintf(stderr, "--sharding must be range|hash|adaptive\n");
+        std::exit(2);
+      }
+    } else if (const char* v = val("--skew=")) {
+      char* end = nullptr;
+      o.skew = std::strtod(v, &end);
+      o.skew_set = true;
+      if (end == v || *end != '\0' || !(o.skew >= 0.0 && o.skew < 1.0)) {
+        std::fprintf(stderr,
+                     "--skew must be in [0, 1) (zipfian theta; 0=uniform)\n");
+        std::exit(2);
+      }
     } else if (const char* v = val("--churn=")) {
       o.churn_rounds = std::strtoull(v, nullptr, 10);
     } else if (a == "--csv") {
@@ -58,7 +75,8 @@ Options ParseOptions(int argc, char** argv) {
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "options: --scale=ci|small|paper --n=N --threads=1,2,4 "
-          "--shards=S --churn=R --csv --seed=S\n");
+          "--shards=S --sharding=range|hash|adaptive --skew=THETA "
+          "--churn=R --csv --seed=S\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());

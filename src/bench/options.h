@@ -6,7 +6,15 @@
 //   --n=<count>              explicit dataset size override
 //   --threads=<list>         comma-separated thread counts (Fig 7; a single
 //                            count for fig6's multi-threaded TPC-C)
-//   --shards=<count>         shard count for the sharded-* kinds
+//   --shards=<count>         shard count for the sharded-*/hashed-* kinds
+//   --sharding=range|hash|adaptive
+//                            partitioning strategy for the sharded kind the
+//                            benches ride along (range: merge-free scans;
+//                            hash: balanced point ops under skew; adaptive:
+//                            range + an explicit Rebalance() after load)
+//   --skew=<theta>           zipfian skew for the key generators, 0 <=
+//                            theta < 1 (0 = uniform, the paper's setup;
+//                            0.99 = YCSB-style hot keys)
 //   --churn=<rounds>         caps the delete-churn round count in benches
 //                            that churn (micro_churn); default: run until
 //                            the bench's allocation-volume target
@@ -26,7 +34,10 @@ struct Options {
   std::size_t n_override = 0;
   std::vector<int> threads;
   bool threads_set = false;  // true when --threads was passed explicitly
-  std::size_t shards = 8;        // sharded-* shard count
+  std::size_t shards = 8;         // sharded-*/hashed-* shard count
+  std::string sharding = "range";  // --sharding=range|hash|adaptive
+  double skew = 0.0;               // --skew=theta; 0 = uniform keys
+  bool skew_set = false;  // true when --skew was passed explicitly
   std::size_t churn_rounds = 0;  // --churn=R; 0 = bench-specific default
   bool csv = false;
   std::uint64_t seed = 20180213;  // FAST'18 opening day
@@ -34,8 +45,13 @@ struct Options {
   /// Dataset size for a microbench whose paper-scale count is `paper_n`.
   std::size_t ScaledN(std::size_t paper_n) const;
 
-  /// The sharded index kind string for --shards, e.g. "sharded-fastfair:8".
+  /// The sharded index kind string for --shards and --sharding:
+  /// "sharded-fastfair:8" for range/adaptive, "hashed-fastfair:8" for hash.
   std::string ShardedKind() const;
+
+  /// True when --sharding=adaptive: benches Rebalance() the range-sharded
+  /// index after loading it.
+  bool AdaptiveSharding() const { return sharding == "adaptive"; }
 };
 
 Options ParseOptions(int argc, char** argv);

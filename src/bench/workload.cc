@@ -1,6 +1,8 @@
 #include "bench/workload.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <unordered_set>
 
 namespace fastfair::bench {
@@ -59,23 +61,105 @@ std::vector<RangeQuery> RangeQueries(const std::vector<Key>& dataset,
   return qs;
 }
 
+namespace {
+// Paper §5.7: "each thread alternates between four insert queries, sixteen
+// search queries, and one delete query".
+constexpr OpType kMixedPattern[21] = {
+    OpType::kInsert, OpType::kSearch, OpType::kSearch, OpType::kSearch,
+    OpType::kSearch, OpType::kInsert, OpType::kSearch, OpType::kSearch,
+    OpType::kSearch, OpType::kSearch, OpType::kInsert, OpType::kSearch,
+    OpType::kSearch, OpType::kSearch, OpType::kSearch, OpType::kInsert,
+    OpType::kSearch, OpType::kSearch, OpType::kSearch, OpType::kSearch,
+    OpType::kDelete};
+}  // namespace
+
 std::vector<Op> MixedOps(std::size_t n, Key universe, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<Op> ops;
   ops.reserve(n);
-  // Paper §5.7: "each thread alternates between four insert queries, sixteen
-  // search queries, and one delete query".
-  static constexpr OpType kPattern[21] = {
-      OpType::kInsert, OpType::kSearch, OpType::kSearch, OpType::kSearch,
-      OpType::kSearch, OpType::kInsert, OpType::kSearch, OpType::kSearch,
-      OpType::kSearch, OpType::kSearch, OpType::kInsert, OpType::kSearch,
-      OpType::kSearch, OpType::kSearch, OpType::kSearch, OpType::kInsert,
-      OpType::kSearch, OpType::kSearch, OpType::kSearch, OpType::kSearch,
-      OpType::kDelete};
   for (std::size_t i = 0; i < n; ++i) {
-    ops.push_back({kPattern[i % 21], rng.NextBounded(universe) + 1});
+    ops.push_back({kMixedPattern[i % 21], rng.NextBounded(universe) + 1});
   }
   return ops;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n >= 2 && theta > 0.0 && theta < 1.0);
+  double zetan = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  zetan_ = zetan;
+  zeta2_ = 1.0 + std::pow(0.5, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan);
+}
+
+std::uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < zeta2_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank < n_ ? rank : n_ - 1;
+}
+
+std::vector<Key> ZipfianKeysInRange(std::size_t n, ZipfianGenerator& zipf,
+                                    Rng& rng) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(zipf.Next(rng) + 1);
+  return keys;
+}
+
+std::vector<Key> ZipfianKeysInRange(std::size_t n, Key universe, double theta,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  ZipfianGenerator zipf(universe, theta);
+  return ZipfianKeysInRange(n, zipf, rng);
+}
+
+std::vector<Key> ZipfianKeys(std::size_t n, ZipfianGenerator& zipf,
+                             std::uint64_t seed) {
+  // Order-preserving spread: stride = floor(2^64/universe), so rank r maps
+  // to (r+1)*stride with no wraparound (rank+1 <= universe) — injective and
+  // monotonic, keeping the hot ranks adjacent in key space. The stride is
+  // derived from the generator's own rank count, so they cannot disagree.
+  const Key stride = ~Key{0} / zipf.n();
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back((zipf.Next(rng) + 1) * stride);
+  }
+  return keys;
+}
+
+std::vector<Key> ZipfianKeys(std::size_t n, std::uint64_t universe,
+                             double theta, std::uint64_t seed) {
+  ZipfianGenerator zipf(universe, theta);
+  return ZipfianKeys(n, zipf, seed);
+}
+
+std::vector<Op> MixedOpsZipfian(std::size_t n, ZipfianGenerator& zipf,
+                                std::uint64_t seed) {
+  const Key stride = ~Key{0} / zipf.n();
+  Rng rng(seed ^ 0x5ca1ab1eull);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops.push_back({kMixedPattern[i % 21], (zipf.Next(rng) + 1) * stride});
+  }
+  return ops;
+}
+
+std::vector<Op> MixedOpsZipfian(std::size_t n, std::uint64_t universe,
+                                double theta, std::uint64_t seed) {
+  ZipfianGenerator zipf(universe, theta);
+  return MixedOpsZipfian(n, zipf, seed);
 }
 
 }  // namespace fastfair::bench

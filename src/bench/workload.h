@@ -47,4 +47,57 @@ struct Op {
 };
 std::vector<Op> MixedOps(std::size_t n, Key universe, std::uint64_t seed);
 
+/// Zipfian(theta) rank generator over [0, n), rank 0 hottest — Gray et
+/// al.'s method, as popularized by YCSB. theta in (0, 1); construction
+/// computes the zeta sum in O(n), so build one generator per universe and
+/// reuse it across draws.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+  std::uint64_t Next(Rng& rng);
+
+  /// The rank-universe size draws come from (key-spreading helpers derive
+  /// their stride from this, so rank and stride can never disagree).
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_, alpha_, zetan_, eta_, zeta2_;
+};
+
+/// N zipfian(theta) draws over `universe` ranks mapped to keys in
+/// [1, universe] (rank 0 -> key 1). Duplicates expected — that's the
+/// skew. The hot keys are *adjacent small integers*: the adversarial
+/// case for uniform range partitioning. The `zipf`+`rng` overload reuses
+/// a caller-built generator and rng stream (per-round draws in
+/// bench_micro_churn); the seed overload is the one-shot convenience.
+std::vector<Key> ZipfianKeysInRange(std::size_t n, ZipfianGenerator& zipf,
+                                    Rng& rng);
+std::vector<Key> ZipfianKeysInRange(std::size_t n, Key universe, double theta,
+                                    std::uint64_t seed);
+
+/// Like ZipfianKeysInRange, but each rank is spread onto the full 64-bit
+/// key space order-preservingly (key = (rank+1) * floor(2^64/universe)):
+/// the dataset occupies the whole space — so the uniform range partition
+/// is applicable at all — yet the hot ranks still cluster at its low end,
+/// piling onto the low-range shards. A fibonacci-hash partition sees the
+/// same keys as ordinary distinct values and spreads them evenly.
+///
+/// The `zipf` overloads reuse a caller-built generator, whose n() is the
+/// rank universe: generator setup is O(universe), so callers producing
+/// several streams over one universe (fig7: preload + insert + mixed)
+/// should build one generator and draw with per-stream seeds.
+std::vector<Key> ZipfianKeys(std::size_t n, ZipfianGenerator& zipf,
+                             std::uint64_t seed);
+std::vector<Key> ZipfianKeys(std::size_t n, std::uint64_t universe,
+                             double theta, std::uint64_t seed);
+
+/// MixedOps with zipfian(theta) keys over `universe` ranks, spread over the
+/// full key space like ZipfianKeys (same 16:4:1 search:insert:delete
+/// pattern). The skewed counterpart of MixedOps for the --skew sweeps.
+std::vector<Op> MixedOpsZipfian(std::size_t n, ZipfianGenerator& zipf,
+                                std::uint64_t seed);
+std::vector<Op> MixedOpsZipfian(std::size_t n, std::uint64_t universe,
+                                double theta, std::uint64_t seed);
+
 }  // namespace fastfair::bench

@@ -120,7 +120,7 @@ template <std::size_t P>
 typename BTreeT<P>::NodeT* BTreeT<P>::FindLeaf(Key key) const {
   RealMem m;
   NodeT* n = Root();
-  // Read-latency model (DESIGN.md §4.1): only leaf-level visits are charged
+  // Read-latency model (DESIGN.md §5.1): only leaf-level visits are charged
   // as serial PM reads. With the paper's configuration the non-leaf levels
   // hold O(N / fanout) >> fewer nodes than the leaves and fit the LLC, and
   // Quartz prices LLC-miss stalls, not loads — its measured near-parity of
@@ -378,8 +378,13 @@ void BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
       // run's separators. If the stop node itself is empty (rightmost, a
       // dead remnant, or the kMaxRun cap landed on one), read on along the
       // chain for the first key — best-effort and unlocked, purely a
-      // routing hint; with no key anywhere to the right, the repair is
-      // deferred to a later run that spans this region from its left.
+      // routing hint. With no key anywhere to the right — the level's
+      // whole tail drained, e.g. a sliding-window workload leaving a key
+      // range for good, the case that strands unboundedly if deferred
+      // (bench_micro_churn's hashed/sharded kinds) — fall back to an open
+      // upper hint: the repair walk then runs to the level's end, which is
+      // exactly the dead set, and parents reduce to bounded tombstones
+      // instead of accumulating.
       s->hdr.lock.unlock();
       NodeT* probe = s;
       for (int hops = 0; probe != nullptr && hops < 4 * kMaxRun; ++hops) {
@@ -390,6 +395,10 @@ void BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
           break;
         }
         probe = AsNode(Ops::LoadSibling(m, probe));
+      }
+      if (!have_hint && probe == nullptr) {
+        hint = ~Key{0};
+        have_hint = true;
       }
       break;
     }

@@ -7,8 +7,8 @@
 // physical power-off experiments: the code whose crash states are enumerated
 // is byte-for-byte the code the production tree executes.
 //
-// Store-ordering contracts implemented here (derivations in DESIGN.md §5 and
-// the crash tests):
+// Store-ordering contracts implemented here (checked exhaustively by the
+// §5.2 crash-state enumeration and the crash tests):
 //
 //  * FAST insert (right shift, writer moves right-to-left, readers scan
 //    left-to-right): for each shifted record, ptr before key; one

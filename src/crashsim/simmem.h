@@ -1,6 +1,6 @@
 // Cache-line-granularity crash simulator.
 //
-// Substitute for the paper's physical power-off experiments (DESIGN.md §4.2).
+// Substitute for the paper's physical power-off experiments (DESIGN.md §5.2).
 // The FAST/FAIR node algorithms in core/node_ops.h are templated over a
 // memory policy; production code instantiates them with `RealMem` (plain
 // stores + pm::Clflush), while crash tests instantiate the *same* templates

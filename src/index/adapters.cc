@@ -9,6 +9,7 @@
 #include "baselines/wbtree/wbtree.h"
 #include "baselines/wort/wort.h"
 #include "core/btree.h"
+#include "index/hash_sharded.h"
 #include "index/sharded.h"
 
 namespace fastfair {
@@ -126,13 +127,22 @@ std::unique_ptr<Index> MakeIndex(std::string_view kind, pm::Pool* pool) {
         std::string(kind), shards,
         [pool, inner](std::size_t) { return MakeIndex(inner, pool); });
   }
+  if (const std::size_t shards = TryParseHashedKind(kind, &inner);
+      shards != 0) {
+    // "hashed-<any registered kind>[:N]": fibonacci-hash partitioning for
+    // point-op balance under key skew; Scan k-way-merges across shards.
+    return std::make_unique<HashShardedIndex>(
+        std::string(kind), shards,
+        [pool, inner](std::size_t) { return MakeIndex(inner, pool); });
+  }
   throw std::invalid_argument("unknown index kind: " + std::string(kind));
 }
 
 std::vector<std::string> AllIndexKinds() {
   return {"fastfair", "fastfair-leaflock", "fastfair-logging",
           "fastfair-binary", "fastfair-1k", "fastfair-reclaim", "wbtree",
-          "fptree", "wort", "skiplist", "blink", "sharded-fastfair"};
+          "fptree", "wort", "skiplist", "blink", "sharded-fastfair",
+          "hashed-fastfair"};
 }
 
 std::size_t Index::CountEntries() const {
@@ -150,6 +160,65 @@ std::size_t Index::CountEntries() const {
     if (last == ~Key{0}) return total;  // key space exhausted
     next = last + 1;
   }
+}
+
+namespace {
+
+// Default streaming scan: pulls batches through the virtual Scan entry
+// point and restarts one past the last key seen, so every adapter (the
+// Wrap<T> baselines included) gets an iterator without a native cursor.
+// Batches start small and double per refill: consumers that take only a
+// few entries (a bounded TPC-C scan through the k-way merge, which pulls
+// one iterator per shard) don't pay for a full batch, while long scans
+// amortize to kMaxBatch within a few refills.
+class BatchedScanIterator final : public ScanIterator {
+ public:
+  BatchedScanIterator(const Index* idx, Key min_key)
+      : idx_(idx), next_key_(min_key) {}
+
+  bool Next(core::Record* out) override {
+    if (pos_ == n_) {
+      if (done_) return false;
+      Refill();
+      if (n_ == 0) return false;
+    }
+    *out = buf_[pos_++];
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kFirstBatch = 16;
+  static constexpr std::size_t kMaxBatch = 256;
+
+  void Refill() {
+    n_ = idx_->Scan(next_key_, batch_, buf_);
+    pos_ = 0;
+    if (n_ < batch_) {
+      done_ = true;
+    } else {
+      const Key last = buf_[n_ - 1].key;
+      if (last == ~Key{0}) {
+        done_ = true;  // key space exhausted
+      } else {
+        next_key_ = last + 1;
+      }
+    }
+    if (batch_ < kMaxBatch) batch_ *= 2;
+  }
+
+  const Index* idx_;
+  Key next_key_;
+  core::Record buf_[kMaxBatch];
+  std::size_t batch_ = kFirstBatch;
+  std::size_t pos_ = 0;
+  std::size_t n_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ScanIterator> Index::NewScanIterator(Key min_key) const {
+  return std::make_unique<BatchedScanIterator>(this, min_key);
 }
 
 }  // namespace fastfair

@@ -1,0 +1,100 @@
+#include "index/hash_sharded.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace fastfair {
+
+std::size_t TryParseHashedKind(std::string_view kind,
+                               std::string* inner_kind) {
+  return detail::ParseShardGrammar(kind, "hashed-", inner_kind);
+}
+
+HashShardedIndex::HashShardedIndex(std::string name, std::size_t num_shards,
+                                   const ShardFactory& make)
+    : name_(std::move(name)) {
+  concurrent_ = detail::BuildShardVector(num_shards, make, &shards_);
+}
+
+void HashShardedIndex::Insert(Key key, Value value) {
+  shards_[ShardOf(key)]->Insert(key, value);
+}
+
+bool HashShardedIndex::Remove(Key key) {
+  return shards_[ShardOf(key)]->Remove(key);
+}
+
+Value HashShardedIndex::Search(Key key) const {
+  return shards_[ShardOf(key)]->Search(key);
+}
+
+namespace {
+
+// Bounded k-way merge: one streaming iterator per shard plus an N-entry
+// min-heap of their current heads. Keys are unique across shards (hash
+// routing), so ties can only pair distinct sources; src breaks them for
+// determinism anyway.
+class MergeScanIterator final : public ScanIterator {
+ public:
+  MergeScanIterator(const std::vector<std::unique_ptr<Index>>& shards,
+                    Key min_key) {
+    its_.reserve(shards.size());
+    for (const auto& shard : shards) {
+      auto it = shard->NewScanIterator(min_key);
+      core::Record rec;
+      if (it->Next(&rec)) heap_.push({rec, its_.size()});
+      its_.push_back(std::move(it));
+    }
+  }
+
+  bool Next(core::Record* out) override {
+    if (heap_.empty()) return false;
+    const Head head = heap_.top();
+    heap_.pop();
+    *out = head.rec;
+    core::Record rec;
+    if (its_[head.src]->Next(&rec)) heap_.push({rec, head.src});
+    return true;
+  }
+
+ private:
+  struct Head {
+    core::Record rec;
+    std::size_t src;
+  };
+  struct Greater {
+    bool operator()(const Head& a, const Head& b) const {
+      return a.rec.key != b.rec.key ? a.rec.key > b.rec.key : a.src > b.src;
+    }
+  };
+
+  std::vector<std::unique_ptr<ScanIterator>> its_;
+  std::priority_queue<Head, std::vector<Head>, Greater> heap_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScanIterator> HashShardedIndex::NewScanIterator(
+    Key min_key) const {
+  return std::make_unique<MergeScanIterator>(shards_, min_key);
+}
+
+std::size_t HashShardedIndex::Scan(Key min_key, std::size_t max_results,
+                                   core::Record* out) const {
+  auto it = NewScanIterator(min_key);
+  std::size_t n = 0;
+  while (n < max_results && it->Next(&out[n])) ++n;
+  return n;
+}
+
+std::size_t HashShardedIndex::CountEntries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->CountEntries();
+  return total;
+}
+
+std::vector<std::size_t> HashShardedIndex::ShardEntryCounts() const {
+  return detail::PerShardEntryCounts(shards_);
+}
+
+}  // namespace fastfair

@@ -16,6 +16,13 @@
 //   sharded-<kind>[:N]  N range-partitioned sub-indexes of any kind
 //                       above (index/sharded.h), e.g. "sharded-fastfair"
 //                       (default 8 shards) or "sharded-fptree:4"
+//   hashed-<kind>[:N]   N hash-partitioned sub-indexes (fibonacci hash,
+//                       index/hash_sharded.h): balanced point ops under
+//                       key skew, scans pay a k-way merge,
+//                       e.g. "hashed-fastfair:8"
+//
+// README.md ("Index registry") holds the full reference table for the
+// grammar; DESIGN.md §4 documents the sharding tier.
 
 #pragma once
 
@@ -29,6 +36,20 @@
 #include "pm/pool.h"
 
 namespace fastfair {
+
+/// Streaming cursor over an index's entries in ascending key order.
+/// Obtained from Index::NewScanIterator; lives at most as long as the index
+/// it iterates. Semantics under concurrent mutation match Scan's: entries
+/// present for the whole iteration are returned exactly once, concurrently
+/// inserted/removed entries may or may not appear (best effort).
+class ScanIterator {
+ public:
+  virtual ~ScanIterator() = default;
+
+  /// Writes the next entry to `*out` and returns true; returns false when
+  /// the iteration is exhausted (then `*out` is untouched).
+  virtual bool Next(core::Record* out) = 0;
+};
 
 class Index {
  public:
@@ -57,6 +78,14 @@ class Index {
   /// default walks the index with batched Scans, adapters with a native
   /// counter override it.
   virtual std::size_t CountEntries() const;
+
+  /// Streaming scan starting at the first key >= `min_key`. The default
+  /// adapts the batched Scan entry point (adapters.cc), so every registered
+  /// kind gets an iterator for free; composite indexes override it to
+  /// stream across sub-indexes without materializing (sharded: shard
+  /// chaining; hashed: bounded k-way merge). The iterator borrows the
+  /// index — it must not outlive it.
+  virtual std::unique_ptr<ScanIterator> NewScanIterator(Key min_key) const;
 };
 
 /// Factory over the registry above; throws std::invalid_argument for an

@@ -2,18 +2,24 @@
 
 #include <charconv>
 #include <stdexcept>
+#include <thread>
+
+#include "pm/reclaim.h"
 
 namespace fastfair {
 
 namespace {
 constexpr std::string_view kShardedPrefix = "sharded-";
+constexpr std::string_view kHashedPrefix = "hashed-";
 constexpr std::size_t kDefaultShards = 8;
 }  // namespace
 
-std::size_t TryParseShardedKind(std::string_view kind,
-                                std::string* inner_kind) {
-  if (kind.substr(0, kShardedPrefix.size()) != kShardedPrefix) return 0;
-  std::string_view rest = kind.substr(kShardedPrefix.size());
+namespace detail {
+
+std::size_t ParseShardGrammar(std::string_view kind, std::string_view prefix,
+                              std::string* inner_kind) {
+  if (kind.substr(0, prefix.size()) != prefix) return 0;
+  std::string_view rest = kind.substr(prefix.size());
   std::size_t shards = kDefaultShards;
   if (const auto colon = rest.rfind(':'); colon != std::string_view::npos) {
     const std::string_view suffix = rest.substr(colon + 1);
@@ -26,7 +32,11 @@ std::size_t TryParseShardedKind(std::string_view kind,
     }
     rest = rest.substr(0, colon);
   }
-  if (rest.empty() || rest.substr(0, kShardedPrefix.size()) == kShardedPrefix) {
+  // Reject an empty inner kind and nested sharding adapters (a shard of
+  // shards multiplies sub-indexes without a workload that wants it).
+  if (rest.empty() ||
+      rest.substr(0, kShardedPrefix.size()) == kShardedPrefix ||
+      rest.substr(0, kHashedPrefix.size()) == kHashedPrefix) {
     throw std::invalid_argument("bad sharded index kind: " +
                                 std::string(kind));
   }
@@ -34,16 +44,68 @@ std::size_t TryParseShardedKind(std::string_view kind,
   return shards;
 }
 
+bool BuildShardVector(
+    std::size_t num_shards,
+    const std::function<std::unique_ptr<Index>(std::size_t)>& make,
+    std::vector<std::unique_ptr<Index>>* out) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("sharded index: num_shards must be > 0");
+  }
+  bool concurrent = true;
+  out->reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    out->push_back(make(s));
+    if (!out->back()->supports_concurrency()) concurrent = false;
+  }
+  return concurrent;
+}
+
+std::vector<std::size_t> PerShardEntryCounts(
+    const std::vector<std::unique_ptr<Index>>& shards) {
+  std::vector<std::size_t> out(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    out[s] = shards[s]->CountEntries();
+  }
+  return out;
+}
+
+}  // namespace detail
+
+std::size_t TryParseShardedKind(std::string_view kind,
+                                std::string* inner_kind) {
+  return detail::ParseShardGrammar(kind, kShardedPrefix, inner_kind);
+}
+
+namespace {
+
+// Drains every reader pinned at or before the current epoch: once this
+// returns, any reader still inside Search/Scan pinned *after* the caller's
+// preceding (seq_cst) stores and therefore observes them. Reader pins are
+// per-operation, so the wait is short; TryAdvance moves late arrivals to a
+// newer epoch so the loop terminates even under a constant read load.
+void WaitForPinnedReaders() {
+  const std::uint64_t e = pm::epoch::Current();
+  while (pm::epoch::MinPinned() <= e) {
+    pm::epoch::TryAdvance();
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+double ImbalanceRatio(const std::vector<std::size_t>& shard_entries) {
+  if (shard_entries.empty()) return 1.0;
+  const auto [mn, mx] =
+      std::minmax_element(shard_entries.begin(), shard_entries.end());
+  if (*mx == 0) return 1.0;
+  return static_cast<double>(*mx) /
+         static_cast<double>(std::max<std::size_t>(*mn, 1));
+}
+
 void ShardedIndex::BuildShards(std::size_t num_shards,
                                const ShardFactory& make) {
-  if (num_shards == 0) {
-    throw std::invalid_argument("ShardedIndex: num_shards must be > 0");
-  }
-  shards_.reserve(num_shards);
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    shards_.push_back(make(s));
-    if (!shards_.back()->supports_concurrency()) concurrent_ = false;
-  }
+  concurrent_ = detail::BuildShardVector(num_shards, make, &shards_);
+  counters_ = std::make_unique<ShardCounters[]>(num_shards);
 }
 
 ShardedIndex::ShardedIndex(std::string name, std::size_t num_shards,
@@ -54,27 +116,75 @@ ShardedIndex::ShardedIndex(std::string name, std::size_t num_shards,
 
 ShardedIndex::ShardedIndex(std::string name, std::vector<Key> boundaries,
                            const ShardFactory& make)
-    : boundaries_(std::move(boundaries)), name_(std::move(name)) {
-  if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+    : name_(std::move(name)) {
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
     throw std::invalid_argument("ShardedIndex: boundaries must be sorted");
   }
-  BuildShards(boundaries_.size() + 1, make);
+  bounds_[0] = std::move(boundaries);
+  BuildShards(bounds_[0].size() + 1, make);
+}
+
+void ShardedIndex::NoteOp(std::size_t shard) const {
+  const std::uint64_t ops =
+      counters_[shard].ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t every = sample_interval_.load(std::memory_order_relaxed);
+  if (every != 0 && ops % every == 0) SampleHistogram();
+}
+
+void ShardedIndex::SampleHistogram() const {
+  // try_lock: a sample racing another sample is redundant, not worth
+  // blocking an operation for.
+  std::unique_lock lk(histogram_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return;
+  last_histogram_ = ApproxShardEntries();
+}
+
+std::vector<std::size_t> ShardedIndex::LastHistogram() const {
+  std::lock_guard lk(histogram_mu_);
+  return last_histogram_;
+}
+
+std::vector<std::size_t> ShardedIndex::ApproxShardEntries() const {
+  std::vector<std::size_t> out(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto e = counters_[s].entries.load(std::memory_order_relaxed);
+    out[s] = e > 0 ? static_cast<std::size_t>(e) : 0;
+  }
+  return out;
+}
+
+std::vector<std::size_t> ShardedIndex::ShardEntryCounts() const {
+  return detail::PerShardEntryCounts(shards_);
 }
 
 void ShardedIndex::Insert(Key key, Value value) {
-  shards_[ShardOf(key)]->Insert(key, value);
+  const std::size_t s = ShardOf(key);
+  shards_[s]->Insert(key, value);
+  counters_[s].entries.fetch_add(1, std::memory_order_relaxed);
+  NoteOp(s);
 }
 
 bool ShardedIndex::Remove(Key key) {
-  return shards_[ShardOf(key)]->Remove(key);
+  const std::size_t s = ShardOf(key);
+  const bool removed = shards_[s]->Remove(key);
+  if (removed) counters_[s].entries.fetch_sub(1, std::memory_order_relaxed);
+  NoteOp(s);
+  return removed;
 }
 
 Value ShardedIndex::Search(Key key) const {
+  // The guard spans route + lookup: Rebalance() publishes new boundaries
+  // and then *waits for every pinned reader* before deleting the old
+  // copies, so a reader that routed under the old boundaries still finds
+  // its key in the old shard. (Same epoch machinery that defers node
+  // recycling, pm/reclaim.h, reused as a routing grace period.)
+  pm::EpochGuard guard;
   return shards_[ShardOf(key)]->Search(key);
 }
 
 std::size_t ShardedIndex::Scan(Key min_key, std::size_t max_results,
                                core::Record* out) const {
+  pm::EpochGuard guard;  // same routing grace period as Search
   // Shards are ordered ranges: walking them in index order and concatenating
   // the per-shard (sorted) results yields a globally sorted scan. Every key
   // in a shard past the first is >= that shard's range floor > min_key.
@@ -91,6 +201,176 @@ std::size_t ShardedIndex::CountEntries() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->CountEntries();
   return total;
+}
+
+namespace {
+
+// Streams shard by shard in range order; opens each shard's iterator only
+// when the previous shard is exhausted.
+class ChainedScanIterator final : public ScanIterator {
+ public:
+  ChainedScanIterator(const std::vector<std::unique_ptr<Index>>* shards,
+                      std::size_t first, Key min_key)
+      : shards_(shards), next_(first), min_key_(min_key), first_(first) {}
+
+  bool Next(core::Record* out) override {
+    for (;;) {
+      if (cur_ && cur_->Next(out)) return true;
+      if (next_ >= shards_->size()) return false;
+      cur_ = (*shards_)[next_]->NewScanIterator(next_ == first_ ? min_key_
+                                                                : Key{0});
+      ++next_;
+    }
+  }
+
+ private:
+  const std::vector<std::unique_ptr<Index>>* shards_;
+  std::unique_ptr<ScanIterator> cur_;
+  std::size_t next_;
+  Key min_key_;
+  std::size_t first_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScanIterator> ShardedIndex::NewScanIterator(
+    Key min_key) const {
+  // Pin only the routing step: ShardOf reads the double-buffered bounds,
+  // which Rebalance may overwrite once no pinned reader remains. The
+  // iterator itself holds shard *indexes*, never boundary references, so
+  // its (arbitrarily long) life needs no pin — it stays best-effort
+  // across a rebalance as documented.
+  std::size_t first;
+  {
+    pm::EpochGuard guard;
+    first = ShardOf(min_key);
+  }
+  return std::make_unique<ChainedScanIterator>(&shards_, first, min_key);
+}
+
+ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
+  std::lock_guard lk(rebalance_mu_);
+  // A reader from a *previous* Rebalance could in principle still hold a
+  // reference into the buffer this call will overwrite at publish time;
+  // drain pinned readers once up front so the inactive buffer is provably
+  // unreferenced.
+  WaitForPinnedReaders();
+  const std::size_t n_shards = shards_.size();
+  RebalanceResult r;
+
+  // Exact per-shard counts (quiescent writers are a precondition).
+  std::vector<std::size_t> counts = ShardEntryCounts();
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  r.imbalance_before = ImbalanceRatio(counts);
+  r.imbalance_after = r.imbalance_before;
+  if (n_shards == 1 || total == 0) return r;
+
+  // New boundaries at the observed key quantiles: boundary j (first key of
+  // new shard j+1) is the key at global rank ceil((j+1) * total / N), so
+  // every new shard holds ~total/N entries. Shards are ordered ranges, so
+  // streaming them in index order visits the keys globally sorted.
+  std::vector<Key> bounds;
+  bounds.reserve(n_shards - 1);
+  {
+    std::size_t rank = 0;
+    auto it = NewScanIterator(Key{0});
+    core::Record rec;
+    while (bounds.size() < n_shards - 1 && it->Next(&rec)) {
+      // total < N makes consecutive cuts collide; the inner loop then emits
+      // duplicate boundaries (legal: the shard between them stays empty).
+      while (bounds.size() < n_shards - 1 &&
+             rank == (bounds.size() + 1) * total / n_shards) {
+        bounds.push_back(rec.key);
+      }
+      ++rank;
+    }
+    // total < N leaves trailing shards empty: pad with the max key so the
+    // boundary list keeps its fixed size (non-decreasing duplicates are
+    // legal and route nothing past them).
+    while (bounds.size() < n_shards - 1) bounds.push_back(~Key{0});
+  }
+  const auto new_shard_of = [&bounds](Key key) {
+    return static_cast<std::size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), key) - bounds.begin());
+  };
+
+  // Phase 1: copy every entry whose shard changes into its new shard. Old
+  // boundaries still route lookups, so concurrent readers keep finding the
+  // old copies. Inserting into a *later* shard t while it has not been
+  // walked yet is fine: the copy routes to t under the new boundaries too,
+  // so the walk over t skips it. Nothing is staged here — phase 3
+  // re-derives each shard's stale set by the same predicate, keeping peak
+  // DRAM at one shard's moved keys instead of the whole migration's.
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto it = shards_[s]->NewScanIterator(Key{0});
+    core::Record rec;
+    while (it->Next(&rec)) {
+      const std::size_t t = new_shard_of(rec.key);
+      if (t == s) continue;
+      shards_[t]->Insert(rec.key, rec.ptr);
+      ++r.moved;
+    }
+  }
+
+  // Phase 2: publish. A reader sees either boundary set, and every key is
+  // present under both (old copy or migrated copy). seq_cst store so the
+  // pin-ordering argument below is airtight: a reader whose (seq_cst) pin
+  // follows the grace period's epoch reads must also observe this store.
+  const unsigned inactive = active_.load(std::memory_order_relaxed) ^ 1u;
+  bounds_[inactive] = std::move(bounds);
+  active_.store(inactive, std::memory_order_seq_cst);
+
+  // Grace period: wait out every reader that may have routed under the
+  // old boundaries before deleting the copies it would look for. This is
+  // what makes Search() *never* miss during a rebalance rather than
+  // almost-never (the route is computed, then the shard searched — a
+  // reader preempted between the two must still find the old copy).
+  WaitForPinnedReaders();
+
+  // Phase 3: drop the stale copies — every key in shard s whose *new*
+  // shard differs (original entries that migrated out; copies migrated in
+  // route to s and are kept), re-derived per shard so peak staging is one
+  // shard's moved keys, not the whole migration's. Readers now route via
+  // the new boundaries and never look here again; with a reclaiming inner
+  // kind the drained nodes go back to the pool free lists (epoch-deferred
+  // — the inner Remove pins, pm/reclaim.h). Removal order matters to that
+  // reclaimer (core/btree_impl.h TryUnlinkEmptySibling): it unlinks
+  // drained leaves to the *right* of the op's leaf, and its route repair
+  // needs a live key to the run's right as an upper routing hint. So
+  // remove *descending* (right-to-left drains free as they go), keeping
+  // the largest moved key as a sentinel until the very end: while it
+  // lives, every lower removal finds it as the hint and the repairer
+  // frees the run eagerly; removing it first would strand a top-of-tree
+  // drained run until some later operation lands left of it.
+  // (`bounds` was moved into the published buffer above — route via
+  // ShardOf, which reads exactly those published boundaries.)
+  std::vector<Key> stale;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    stale.clear();
+    auto it = shards_[s]->NewScanIterator(Key{0});
+    core::Record rec;
+    while (it->Next(&rec)) {
+      if (ShardOf(rec.key) != s) stale.push_back(rec.key);
+    }
+    if (stale.empty()) continue;
+    for (auto k = stale.rbegin() + 1; k != stale.rend(); ++k) {
+      shards_[s]->Remove(*k);
+    }
+    shards_[s]->Remove(stale.back());  // the sentinel
+  }
+
+  // Resync the approximate counters to the (exactly known) post-migration
+  // occupancy: new shard j holds the ranks [j*total/N, (j+1)*total/N).
+  std::vector<std::size_t> after(n_shards);
+  for (std::size_t j = 0; j < n_shards; ++j) {
+    after[j] = (j + 1) * total / n_shards - j * total / n_shards;
+    counters_[j].entries.store(static_cast<std::int64_t>(after[j]),
+                               std::memory_order_relaxed);
+  }
+  r.imbalance_after = ImbalanceRatio(after);
+  SampleHistogram();
+  return r;
 }
 
 }  // namespace fastfair

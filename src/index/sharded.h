@@ -1,12 +1,14 @@
 // Range-sharded index adapter: the horizontal-scaling tier above any single
-// Index implementation.
+// Index implementation (DESIGN.md §4).
 //
 // The 64-bit key space is split into N contiguous ranges (fixed-point
 // multiply: shard(k) = floor(k * N / 2^64)), one sub-index per range, all
 // living in the same pm::Pool.  Range partitioning — not hashing — is what
 // keeps Scan() cheap: each shard's keys are strictly greater than every key
 // of the shard before it, so a cross-shard scan is the plain concatenation
-// of per-shard scans, globally sorted with no merge step.
+// of per-shard scans, globally sorted with no merge step.  (The dual
+// trade-off — balanced point ops under skew, merged scans — is
+// HashShardedIndex, index/hash_sharded.h.)
 //
 // What sharding buys on top of the per-thread arena allocator (pm/pool.h):
 // concurrent writers to *different* key ranges touch disjoint trees, so they
@@ -16,14 +18,23 @@
 // "sharded-fastfair[:N]" (default 8 shards), but any factory works.
 //
 // Uniform-range partitioning is the paper-faithful choice for the uniform
-// benchmark workloads; skewed workloads would want weighted boundaries or
-// hash sharding (ROADMAP open item).
+// benchmark workloads.  Skewed workloads pile onto a few ranges; for those
+// the adapter keeps a per-shard entry-count histogram (relaxed counters,
+// snapshot sampled every SetSampleInterval ops) and offers an explicit
+// Rebalance() that recomputes the boundaries from the observed key
+// quantiles and migrates entries shard-to-shard (protocol in DESIGN.md
+// §4.3: copy to the new shard, publish the boundaries, then delete the
+// stale copies — concurrent readers always find a key under whichever
+// boundary set they observe).
 
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,7 +43,7 @@
 namespace fastfair {
 
 /// Upper bound on the shard count accepted by the registry (and by the
-/// benches' --shards flag).
+/// benches' --shards flag), shared by the sharded- and hashed- grammars.
 inline constexpr std::size_t kMaxShards = 1024;
 
 /// The one parser for the sharded kind grammar
@@ -41,10 +52,38 @@ inline constexpr std::size_t kMaxShards = 1024;
 /// `inner_kind` is non-null, stores the inner kind string; returns 0 when
 /// `kind` does not name the sharded adapter at all; throws
 /// std::invalid_argument for a malformed or out-of-range count, an empty
-/// inner kind, or a nested "sharded-" inner kind. Whether the inner kind
-/// itself exists is the registry's (MakeIndex's) concern.
+/// inner kind, or a nested sharding adapter ("sharded-"/"hashed-") as the
+/// inner kind. Whether the inner kind itself exists is the registry's
+/// (MakeIndex's) concern.
 std::size_t TryParseShardedKind(std::string_view kind,
                                 std::string* inner_kind = nullptr);
+
+namespace detail {
+/// Shared implementation behind TryParseShardedKind and TryParseHashedKind:
+/// parses "<prefix><inner kind>[:N]" with the contract documented on
+/// TryParseShardedKind.
+std::size_t ParseShardGrammar(std::string_view kind, std::string_view prefix,
+                              std::string* inner_kind);
+
+/// Builds `num_shards` sub-indexes via `make` into `*out`; returns true iff
+/// every one supports concurrent callers. Throws std::invalid_argument when
+/// `num_shards` is zero. Shared by the range- and hash-sharded adapters.
+bool BuildShardVector(
+    std::size_t num_shards,
+    const std::function<std::unique_ptr<Index>(std::size_t)>& make,
+    std::vector<std::unique_ptr<Index>>* out);
+
+/// Exact per-shard entry counts via each shard's CountEntries — the shared
+/// body of both adapters' ShardEntryCounts/CountEntries (quiescent-state
+/// helpers; under writers the per-shard sums are relaxed snapshots).
+std::vector<std::size_t> PerShardEntryCounts(
+    const std::vector<std::unique_ptr<Index>>& shards);
+}  // namespace detail
+
+/// max/min over per-shard entry counts, the imbalance metric the skew
+/// benches gate on (empty shards clamp the denominator to 1, so a shard
+/// left empty by skew is charged, not hidden). 1.0 for an empty index.
+double ImbalanceRatio(const std::vector<std::size_t>& shard_entries);
 
 class ShardedIndex final : public Index {
  public:
@@ -70,7 +109,19 @@ class ShardedIndex final : public Index {
   Value Search(Key key) const override;
   std::size_t Scan(Key min_key, std::size_t max_results,
                    core::Record* out) const override;
+
+  /// Sums the per-shard counts shard by shard, *non-atomically* with
+  /// respect to concurrent writers: an insert or remove that lands in a
+  /// shard after that shard was counted but while later shards are still
+  /// being walked is missed (or, for a Rebalance-migrated entry, counted
+  /// twice). The result is exact only at quiescence; under concurrency it
+  /// is a relaxed snapshot bounded by the true count plus in-flight ops.
+  /// Tests that count while writers run must tolerate that window
+  /// (tests/sharded_index_test.cc: CountEntriesDuringWritesIsRelaxed).
   std::size_t CountEntries() const override;
+
+  /// Streams shard by shard in range order — merge-free, like Scan.
+  std::unique_ptr<ScanIterator> NewScanIterator(Key min_key) const override;
 
   std::string_view name() const override { return name_; }
   /// True iff every shard supports concurrent callers (operations on one
@@ -79,23 +130,102 @@ class ShardedIndex final : public Index {
 
   std::size_t num_shards() const { return shards_.size(); }
 
-  /// Monotonic in `key`: explicit boundaries when configured, otherwise the
-  /// equal-width fixed-point partition of [0, 2^64).
+  /// Monotonic in `key`: explicit boundaries when configured (the buffer
+  /// published last by the constructor or Rebalance), otherwise the
+  /// equal-width fixed-point partition of [0, 2^64). seq_cst load (a plain
+  /// MOV on x86): pairs with Rebalance's seq_cst publish + epoch grace
+  /// period so a reader pinned after the grace period provably routes by
+  /// the new boundaries.
   std::size_t ShardOf(Key key) const {
-    if (!boundaries_.empty()) {
+    const std::vector<Key>& b =
+        bounds_[active_.load(std::memory_order_seq_cst)];
+    if (!b.empty()) {
       return static_cast<std::size_t>(
-          std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
-          boundaries_.begin());
+          std::upper_bound(b.begin(), b.end(), key) - b.begin());
     }
     return static_cast<std::size_t>(
         (static_cast<unsigned __int128>(key) * shards_.size()) >> 64);
   }
 
+  // --- skew instrumentation + rebalance (DESIGN.md §4.3) -------------------
+
+  /// Every `ops` routed *mutations* (inserts + removes — lookups never
+  /// touch shared counters, so the lock-free search path stays
+  /// instrumentation-free), the live per-shard entry estimates are
+  /// snapshotted into the histogram returned by LastHistogram(). 0
+  /// disables sampling (the relaxed counters still run). Default: 4096.
+  void SetSampleInterval(std::size_t ops) {
+    sample_interval_.store(ops, std::memory_order_relaxed);
+  }
+
+  /// The most recent sampled entry-count histogram (empty until the first
+  /// sample interval elapses).
+  std::vector<std::size_t> LastHistogram() const;
+
+  /// Live approximate entries per shard from the relaxed counters:
+  /// +1 per Insert (upserts overcount re-inserted keys), -1 per successful
+  /// Remove; resynced to exact counts by Rebalance().
+  std::vector<std::size_t> ApproxShardEntries() const;
+
+  /// Exact per-shard entry counts via each shard's CountEntries
+  /// (quiescent-state helper, like CountEntries itself).
+  std::vector<std::size_t> ShardEntryCounts() const;
+
+  struct RebalanceResult {
+    std::size_t moved = 0;          // entries migrated to a different shard
+    double imbalance_before = 1.0;  // ImbalanceRatio over exact counts
+    double imbalance_after = 1.0;
+  };
+
+  /// Recomputes the shard boundaries from the observed key quantiles (each
+  /// new shard gets ~1/N of the live entries) and migrates every entry
+  /// whose new shard differs. Protocol (DESIGN.md §4.3): (1) copy each
+  /// moving entry into its new shard while the old boundaries still route
+  /// lookups to the old copy, (2) publish the new boundaries (seq_cst
+  /// store paired with ShardOf's seq_cst load plus an epoch grace period;
+  /// readers see either boundary set, both of which route
+  /// every key to a shard that holds it), (3) remove the stale copies from
+  /// the old shards — with a reclaiming inner kind (fastfair-reclaim) this
+  /// frees the drained nodes through the pool free lists under the
+  /// existing epoch guards (pm/reclaim.h; the inner ops pin).
+  ///
+  /// Safe under concurrent *readers*: Search/Scan pin the reclamation
+  /// epoch across route + lookup, and the publish step waits out every
+  /// pinned reader before the stale copies are deleted (and before an
+  /// older boundary buffer is reused), so a reader routed by either
+  /// boundary set always finds its key. A cross-shard Scan may
+  /// transiently see a migrating key twice. Writers must be quiesced: an
+  /// upsert against the old copy after it was copied would be lost,
+  /// symmetric to the single-writer caveat on fastfair-reclaim. Open
+  /// ScanIterators do not pin (they may live arbitrarily long) and stay
+  /// best-effort across a rebalance. Calls serialize on an internal
+  /// mutex.
+  RebalanceResult Rebalance();
+
  private:
+  // Padded so two shards' counters never share a cache line: the counters
+  // measure skew, they must not add cross-shard contention of their own.
+  // Only mutations touch them — `ops` counts routed inserts + removes.
+  struct alignas(kCacheLineSize) ShardCounters {
+    std::atomic<std::int64_t> entries{0};
+    std::atomic<std::uint64_t> ops{0};
+  };
+
   void BuildShards(std::size_t num_shards, const ShardFactory& make);
+  void NoteOp(std::size_t shard) const;
+  void SampleHistogram() const;
 
   std::vector<std::unique_ptr<Index>> shards_;
-  std::vector<Key> boundaries_;  // empty => uniform fixed-point partition
+  std::unique_ptr<ShardCounters[]> counters_;  // one per shard
+  // Double-buffered boundaries: Rebalance writes the inactive buffer, then
+  // publishes it with one release store; ShardOf never sees a half-written
+  // vector. Empty active buffer => uniform fixed-point partition.
+  std::array<std::vector<Key>, 2> bounds_;
+  std::atomic<unsigned> active_{0};
+  std::atomic<std::size_t> sample_interval_{4096};
+  mutable std::mutex histogram_mu_;  // guards last_histogram_
+  mutable std::vector<std::size_t> last_histogram_;
+  std::mutex rebalance_mu_;
   std::string name_;
   bool concurrent_ = true;
 };

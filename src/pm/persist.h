@@ -7,7 +7,7 @@
 //    fence instructions, so flush *counts* and cache-eviction side effects are
 //    the real thing.
 //  * Configurable latency injection substitutes for Quartz (see DESIGN.md
-//    §4.1): every flushed cache line spins for `write_latency_ns`, and every
+//    §5.1): every flushed cache line spins for `write_latency_ns`, and every
 //    `AnnotateRead` (called once per pointer-chased PM node by the index
 //    implementations) spins for `read_latency_ns`.  The paper's performance
 //    arguments are about flush/fence/serial-read counts, and this layer makes

@@ -36,11 +36,14 @@ std::unique_ptr<Index> MakeTable(std::string_view kind, pm::Pool* pool,
 
 }  // namespace
 
+std::vector<Index*> Db::tables() const {
+  return {warehouse_.get(), district_.get(),  customer_.get(),
+          item_.get(),      stock_.get(),     order_.get(),
+          neworder_.get(),  orderline_.get(), customer_order_.get()};
+}
+
 bool Db::supports_concurrency() const {
-  for (const Index* t :
-       {warehouse_.get(), district_.get(), customer_.get(), item_.get(),
-        stock_.get(), order_.get(), neworder_.get(), orderline_.get(),
-        customer_order_.get()}) {
+  for (const Index* t : tables()) {
     if (!t->supports_concurrency()) return false;
   }
   return true;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "index/index.h"
 #include "pm/persist.h"
@@ -25,9 +26,11 @@ struct Config {
 class Db {
  public:
   /// Builds and populates a TPC-C database whose every table is indexed by
-  /// an index of `kind` (see MakeIndex). For a sharded kind the Db derives
-  /// per-table shard boundaries from the packed key encodings (db.cc), so
-  /// rows spread across shards despite the small key-space prefix.
+  /// an index of `kind` (see MakeIndex). For a range-sharded kind the Db
+  /// derives per-table shard boundaries from the packed key encodings
+  /// (db.cc), so rows spread across shards despite the small key-space
+  /// prefix; a hashed- kind needs no such help (the fibonacci hash spreads
+  /// the packed keys by itself) and goes straight to the registry.
   Db(std::string_view kind, const Config& cfg, pm::Pool* pool);
 
   const Config& config() const { return cfg_; }
@@ -46,6 +49,11 @@ class Db {
   Index& neworder() { return *neworder_; }
   Index& orderline() { return *orderline_; }
   Index& customer_order() { return *customer_order_; }
+
+  /// All nine table indexes (fixed order: warehouse, district, customer,
+  /// item, stock, order, neworder, orderline, customer_order) — for
+  /// cross-table sweeps like fig6's adaptive-sharding rebalance pass.
+  std::vector<Index*> tables() const;
 
   /// Allocates + persists a row of type T in the pool; returns its address
   /// as an index value.

@@ -39,6 +39,7 @@ TEST(IndexFactory, ConcurrencySupportFlags) {
   EXPECT_TRUE(MakeIndex("skiplist", &pool)->supports_concurrency());
   EXPECT_TRUE(MakeIndex("blink", &pool)->supports_concurrency());
   EXPECT_TRUE(MakeIndex("sharded-fastfair", &pool)->supports_concurrency());
+  EXPECT_TRUE(MakeIndex("hashed-fastfair", &pool)->supports_concurrency());
   EXPECT_FALSE(MakeIndex("wbtree", &pool)->supports_concurrency());
   EXPECT_FALSE(MakeIndex("wort", &pool)->supports_concurrency());
 }
@@ -106,7 +107,9 @@ INSTANTIATE_TEST_SUITE_P(
                       "fastfair-binary", "fastfair-1k", "fastfair-reclaim",
                       "wbtree", "fptree", "wort", "skiplist", "blink",
                       "sharded-fastfair", "sharded-fastfair:3",
-                      "sharded-fptree:3", "sharded-fastfair-reclaim:3"),
+                      "sharded-fptree:3", "sharded-fastfair-reclaim:3",
+                      "hashed-fastfair", "hashed-fastfair:3",
+                      "hashed-skiplist:3", "hashed-fastfair-reclaim:3"),
     [](const auto& info) {
       std::string name = info.param;
       for (auto& c : name) {
