@@ -16,11 +16,14 @@
 // derivation needed), or adaptive (range + a Rebalance() pass over every
 // table after population).
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/options.h"
 #include "bench/table.h"
 #include "index/sharded.h"
+#include "maint/maintenance.h"
+#include "maint/tasks.h"
 #include "tpcc/driver.h"
 
 int main(int argc, char** argv) {
@@ -76,7 +79,18 @@ int main(int argc, char** argv) {
         pm::SetConfig(pm::Config{});  // populate at DRAM speed
         pm::Pool pool(std::size_t{8} << 30);
         tpcc::Db db(kind, cfg, &pool);
-        if (opt.AdaptiveSharding()) {
+        if (opt.maintenance) {
+          // Maintenance window between population and the timed mix: the
+          // Db's background scheduler (pool drain + one imbalance policy
+          // per sharded table) converges on its own — no foreground
+          // Rebalance call — and is stopped before the mix's writers
+          // start (the structural tasks' quiesced-writer contract).
+          maint::TaskOptions topts;
+          topts.rebalance_threshold = opt.rebalance_threshold;
+          db.StartMaintenance(topts, opt.maint_interval_us);
+          db.maintenance()->WaitIdle(std::chrono::milliseconds(60000));
+          db.StopMaintenance();
+        } else if (opt.AdaptiveSharding()) {
           // Re-derive each range-sharded table's boundaries from the real
           // row distribution (the static per-warehouse cuts ignore that
           // e.g. ORDER-LINE rows cluster by district).

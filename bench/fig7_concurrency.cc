@@ -11,7 +11,9 @@
 // oversubscription, and that no workload loses correctness under
 // contention. Run on a multi-core box for the paper's scaling curves.
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <optional>
 
 #include "bench/options.h"
@@ -21,6 +23,7 @@
 #include "bench/workload.h"
 #include "index/index.h"
 #include "index/sharded.h"
+#include "maint/tasks.h"
 
 namespace {
 
@@ -28,10 +31,26 @@ using namespace fastfair;
 
 // --sharding=adaptive: recompute the range-sharded kind's boundaries from
 // the loaded key distribution before the timed phase (no-op for the other
-// kinds; the hashed kind needs no rebalance by construction).
-void MaybeRebalance(Index* idx, const bench::Options& opt) {
+// kinds; the hashed kind needs no rebalance by construction). With
+// --maintenance the background policy task does it instead — a scheduler
+// thread watches the histograms the load populated and rebalances on its
+// own; the bench just waits for it to report idle (writers are quiesced
+// between load and the timed phase, the structural tasks' contract).
+void MaybeRebalance(Index* idx, pm::Pool* pool, const bench::Options& opt) {
   if (!opt.AdaptiveSharding()) return;
-  if (auto* sharded = dynamic_cast<ShardedIndex*>(idx)) sharded->Rebalance();
+  auto* sharded = dynamic_cast<ShardedIndex*>(idx);
+  if (sharded == nullptr) return;
+  if (!opt.maintenance) {
+    sharded->Rebalance();
+    return;
+  }
+  maint::TaskOptions topts;
+  topts.rebalance_threshold = opt.rebalance_threshold;
+  auto mt = maint::MakeMaintenanceThread(
+      pool, {idx}, topts, std::chrono::microseconds(opt.maint_interval_us));
+  mt->Start();
+  mt->WaitIdle(std::chrono::milliseconds(60000));
+  mt->Stop();
 }
 
 double RunSearch(Index* idx, const std::vector<Key>& keys, int threads) {
@@ -81,6 +100,15 @@ double RunMixed(Index* idx, const std::vector<bench::Op>& ops, int threads) {
 
 int main(int argc, char** argv) {
   const auto opt = bench::ParseOptions(argc, argv);
+  if (opt.maintenance && !opt.AdaptiveSharding()) {
+    // In fig7 the only maintainable phase is the post-load convergence of
+    // the adaptive range-sharded kind; without it the flag changes
+    // nothing, and silently labeling baseline numbers as a maintenance
+    // run would mislead.
+    std::fprintf(stderr,
+                 "note: fig7 --maintenance only acts with "
+                 "--sharding=adaptive; ignoring it for this run\n");
+  }
   // Paper: 50 M preload; ops scaled alongside.
   const std::size_t preload_n = opt.ScaledN(50000000);
   const std::size_t ops_n = preload_n;
@@ -124,7 +152,7 @@ int main(int argc, char** argv) {
     pm::Pool pool(std::size_t{8} << 30);
     auto idx = MakeIndex(kind, &pool);
     bench::LoadIndex(idx.get(), preload);
-    MaybeRebalance(idx.get(), opt);
+    MaybeRebalance(idx.get(), &pool, opt);
     pm::SetConfig(cfg);
     for (const int t : opt.threads) {
       table.AddRow({"search", kind, std::to_string(t),
@@ -137,7 +165,7 @@ int main(int argc, char** argv) {
       pm::Pool pool(std::size_t{8} << 30);
       auto idx = MakeIndex(kind, &pool);
       bench::LoadIndex(idx.get(), preload);
-      MaybeRebalance(idx.get(), opt);
+      MaybeRebalance(idx.get(), &pool, opt);
       pm::SetConfig(cfg);
       table.AddRow({"insert", kind, std::to_string(t),
                     bench::Table::Num(RunInsert(idx.get(), extra, t))});
@@ -149,7 +177,7 @@ int main(int argc, char** argv) {
       pm::Pool pool(std::size_t{8} << 30);
       auto idx = MakeIndex(kind, &pool);
       bench::LoadIndex(idx.get(), preload);
-      MaybeRebalance(idx.get(), opt);
+      MaybeRebalance(idx.get(), &pool, opt);
       pm::SetConfig(cfg);
       table.AddRow({"mixed", kind, std::to_string(t),
                     bench::Table::Num(RunMixed(idx.get(), mixed, t))});

@@ -19,11 +19,24 @@
 // hot end of the window — the imbalance counters of the sharded kinds and
 // the hashed kind's k-way scan merge (verified sorted after the run) then
 // get exercised under the distribution they exist for.
+//
+// --maintenance hands the revisit problem to the maintenance tier
+// (DESIGN.md §6) instead of the foreground left-edge ops: between rounds
+// (writers idle — the structural tasks' contract) a synchronous
+// maintenance pass sweeps the abandoned runs, and after the churn an
+// *asynchronous* idle phase proves writer-free draining end to end: the
+// final round runs under a pinned epoch so its frees park in limbo, the
+// writer hands its private limbo to the pool (FlushThreadLimbo) and goes
+// silent, and the background MaintenanceThread must bring the pool's
+// bytes-in-limbo back to zero on its own — the run fails if it cannot.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/options.h"
@@ -32,8 +45,10 @@
 #include "bench/table.h"
 #include "bench/workload.h"
 #include "index/index.h"
+#include "maint/tasks.h"
 #include "pm/persist.h"
 #include "pm/pool.h"
+#include "pm/reclaim.h"
 
 namespace {
 
@@ -47,14 +62,31 @@ struct ChurnResult {
   std::size_t volume = 0;     // bytes allocated (incl. recycled blocks)
   std::size_t used = 0;       // final bump reservation
   pm::ThreadStats pm;         // counter deltas across the run
+  // --maintenance idle-phase demo (0 / true when maintenance is off):
+  std::size_t limbo_before = 0;  // pool bytes-in-limbo as the writer went idle
+  std::size_t limbo_after = 0;   // after the background drain converged
+  std::uint64_t maint_items = 0;  // task items: leaves swept + drain batches
+  bool drained = true;            // limbo returned to zero without a writer
 };
 
 ChurnResult RunChurn(const std::string& kind, std::size_t capacity,
                      std::size_t n, std::size_t max_rounds,
                      std::uint64_t seed, bool slide, double skew,
-                     std::size_t shards) {
+                     std::size_t shards, const bench::Options& opt) {
   pm::Pool pool(capacity);
   auto idx = MakeIndex(kind, &pool);
+  // --maintenance: the tier that replaces the foreground left-edge ops.
+  // Between rounds it runs as a synchronous window (RunPass — writers are
+  // idle at a round boundary, satisfying the structural tasks' contract);
+  // the final idle phase runs it as the real background thread.
+  maint::TaskOptions topts;
+  topts.rebalance_threshold = opt.rebalance_threshold;
+  std::unique_ptr<maint::MaintenanceThread> mt;
+  if (opt.maintenance) {
+    mt = maint::MakeMaintenanceThread(
+        &pool, {idx.get()}, topts,
+        std::chrono::microseconds(opt.maint_interval_us));
+  }
   ChurnResult r;
   pm::ResetStats();
   const pm::ThreadStats before = pm::Stats();
@@ -95,28 +127,72 @@ ChurnResult RunChurn(const std::string& kind, std::size_t capacity,
         }
       }
       for (const Key k : keys) idx->Remove(k);
-      if (slide) {
+      if (slide && mt == nullptr) {
         // Left-edge sweep: a handful of (absent-key) ops keyed at the
         // drained window's bottom. The reclaimer piggybacks on operations
         // (DESIGN.md §3.1) — a run whose repair found no live key to its
         // right, and mid-chain leaves that emptied after the last op to
         // their left, wait for a traversal that re-enters the range from
         // the left. Pure sliding churn never re-enters, the pathological
-        // zero-revisit case (ROADMAP lists a background sweeper as the
-        // traffic-independent answer); these ops model the occasional
-        // revisit any real workload has. Spread over enough consecutive
-        // keys that hash-sharded kinds sweep every shard, not just the
-        // one the base key routes to: 8 draws per shard beats the coupon
-        // collector's ~S·ln(S) up to kMaxShards (ln 1024 ≈ 7).
-        const Key sweep = std::max<Key>(64, 8 * shards);
+        // zero-revisit case these ops used to paper over (--maintenance
+        // hands it to the background sweep task instead); they model the
+        // occasional revisit any real workload has. Spread over enough
+        // consecutive keys that hash-sharded kinds sweep every shard, not
+        // just the one the base key routes to: 8 draws per shard beats the
+        // coupon collector's ~S·ln(S) up to kMaxShards (ln 1024 ≈ 7). A
+        // target with no sharded tier needs exactly one re-entering op —
+        // charging the single-tree baseline 64 extra ops per round skews
+        // its numbers against the sharded rows for no modelling gain.
+        const Key sweep = shards > 1 ? std::max<Key>(64, 8 * shards) : 1;
         const Key base = static_cast<Key>(r.rounds) * span;
         for (Key k = 1; k <= sweep; ++k) idx->Remove(base + k);
+      }
+      if (mt != nullptr) {
+        // Maintenance window at the round boundary (writers idle): the
+        // sweep tasks walk the trees and unlink this round's abandoned
+        // runs, the drain task retires the frees — no foreground revisit
+        // traffic at all.
+        mt->RunPass();
       }
       r.rounds += 1;
       r.volume = (pm::Stats() - before).alloc_bytes;
     }
   } catch (const std::bad_alloc&) {
     r.exhausted = true;
+  }
+  if (mt != nullptr && !r.exhausted) {
+    // Asynchronous idle-phase proof: park one round's frees in limbo by
+    // pinning the epoch across it (a lagging-reader stand-in: nothing can
+    // be recycled while the pin lives, so frees overflow into the pool's
+    // limbo), hand the writer's private residue over, then go silent and
+    // let the background thread drain everything.
+    try {
+      pm::EpochGuard pin;
+      const Key base = static_cast<Key>(r.rounds) * span;
+      auto keys = bench::UniformKeysInRange(n, span, seed ^ 0xfeedull);
+      if (slide) {
+        for (Key& k : keys) k += base;
+      }
+      for (const Key k : keys) idx->Insert(k, bench::ValueFor(k));
+      for (const Key k : keys) idx->Remove(k);
+    } catch (const std::bad_alloc&) {
+      r.exhausted = true;
+    }
+    pool.FlushThreadLimbo();
+    r.limbo_before = pool.limbo_bytes();
+    mt->Start();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (pool.limbo_bytes() != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    mt->Stop();
+    r.limbo_after = pool.limbo_bytes();
+    r.drained = r.limbo_after == 0;
+    for (const auto& rep : mt->StatsSnapshot()) {
+      r.maint_items += rep.stats.items;
+    }
   }
   r.pm = pm::Stats() - before;
   r.used = pool.used();
@@ -141,6 +217,7 @@ int main(int argc, char** argv) {
     std::string kind;
     std::size_t capacity;
     bool slide;
+    std::size_t shards;  // the target's own shard count (1 = no sharded tier)
   };
   const std::size_t cap = ci ? (std::size_t{8} << 20) : (std::size_t{32} << 20);
   // The hashed target's shard count is capped (visibly — the kind string in
@@ -148,34 +225,43 @@ int main(int argc, char** argv) {
   // and a complete drain leaves O(1) unreclaimable tombstone nodes per tree
   // (DESIGN.md §4.3) — residue ∝ N × rounds, which for large N outgrows any
   // pool before the 10x volume target. That is the zero-revisit pathology
-  // the ROADMAP background sweeper will close; the churn gate exercises
-  // reclamation, not shard-count scaling (bench_micro_skew covers that).
+  // the background sweep task (--maintenance) closes; the churn gate
+  // exercises reclamation, not shard-count scaling (bench_micro_skew
+  // covers that).
   const std::size_t hashed_shards = std::min<std::size_t>(opt.shards, 16);
   const std::vector<Target> targets = {
-      {"fastfair-reclaim", cap, true},
-      {"sharded-fastfair-reclaim:" + std::to_string(opt.shards), cap, true},
-      {"hashed-fastfair-reclaim:" + std::to_string(hashed_shards), cap, true},
-      {"wort", cap, false},
+      {"fastfair-reclaim", cap, true, 1},
+      {"sharded-fastfair-reclaim:" + std::to_string(opt.shards), cap, true,
+       opt.shards},
+      {"hashed-fastfair-reclaim:" + std::to_string(hashed_shards), cap, true,
+       hashed_shards},
+      {"wort", cap, false, 1},
   };
 
   std::printf(
       "Delete churn: insert+delete rounds of %zu %s keys until alloc "
       "volume reaches %zux pool capacity (bounded used() = reclamation "
-      "works)\n",
-      n, opt.skew > 0.0 ? "zipfian" : "fresh", kVolumeFactor);
+      "works)%s\n",
+      n, opt.skew > 0.0 ? "zipfian" : "fresh", kVolumeFactor,
+      opt.maintenance ? "; maintenance tier replaces foreground sweeps"
+                      : "");
   bench::Table table({"index", "pool_MB", "rounds", "alloc_MB", "used_MB",
-                      "freed_MB", "recycles", "spills", "refills"});
+                      "freed_MB", "recycles", "spills", "refills",
+                      "limbo_KB", "maint_items"});
   bool ok = true;
   for (const auto& t : targets) {
     const auto r = RunChurn(t.kind, t.capacity, n, max_rounds, opt.seed,
-                            t.slide, opt.skew, opt.shards);
+                            t.slide, opt.skew, t.shards, opt);
     table.AddRow({t.kind, bench::Table::Num(Mb(t.capacity)),
                   std::to_string(r.rounds), bench::Table::Num(Mb(r.volume)),
                   bench::Table::Num(Mb(r.used)),
                   bench::Table::Num(Mb(r.pm.free_bytes)),
                   std::to_string(r.pm.recycles),
                   std::to_string(r.pm.freelist_spills),
-                  std::to_string(r.pm.freelist_refills)});
+                  std::to_string(r.pm.freelist_refills),
+                  bench::Table::Num(static_cast<double>(r.limbo_before) /
+                                    1024.0),
+                  std::to_string(r.maint_items)});
     if (r.exhausted) {
       std::fprintf(stderr, "FAIL: %s exhausted its pool after %.1f MB\n",
                    t.kind.c_str(), Mb(r.volume));
@@ -185,6 +271,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: %s never recycled a block\n",
                    t.kind.c_str());
       ok = false;
+    }
+    if (opt.maintenance) {
+      // The idle-phase proof must have had something to prove (the pinned
+      // round parks real frees) and the background thread must have
+      // retired all of it without a single foreground op.
+      if (r.limbo_before == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s parked no limbo bytes for the idle phase\n",
+                     t.kind.c_str());
+        ok = false;
+      }
+      if (!r.drained) {
+        std::fprintf(stderr,
+                     "FAIL: %s background drain left %zu limbo bytes\n",
+                     t.kind.c_str(), r.limbo_after);
+        ok = false;
+      }
     }
   }
   if (opt.csv) {

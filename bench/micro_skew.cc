@@ -17,9 +17,17 @@
 //     the moved-out nodes (pm free counters advance; inner kind is
 //     fastfair-reclaim so drained leaves really return to the pool).
 //
+// --maintenance replaces the foreground Rebalance() call with the
+// background policy loop (DESIGN.md §6): after load, a MaintenanceThread
+// watches the sampled histograms and rebalances on its own; the bench
+// waits for the scheduler to report itself idle and then gates that the
+// imbalance converged to <= --rebalance-threshold (default 1.2) with zero
+// lost keys — no foreground rebalance call anywhere on that path.
+//
 // --skew sets theta (default 0.99, the YCSB constant); --shards the shard
 // count. EXPERIMENTS.md ("Skewed workloads") records measured ratios.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -31,6 +39,7 @@
 #include "bench/workload.h"
 #include "index/hash_sharded.h"
 #include "index/sharded.h"
+#include "maint/tasks.h"
 #include "pm/persist.h"
 #include "pm/pool.h"
 
@@ -99,32 +108,80 @@ int main(int argc, char** argv) {
 
     pm::ResetStats();
     const pm::ThreadStats before = pm::Stats();
-    const auto reb = sharded->Rebalance();
-    const pm::ThreadStats delta = pm::Stats() - before;
-    const double ratio_adaptive = ImbalanceRatio(sharded->ShardEntryCounts());
-    const std::size_t entries_after = idx->CountEntries();
-    table.AddRow({"adaptive", range_kind, bench::Table::Num(ratio_adaptive),
-                  bench::Table::Num(LookupKops(*idx, queries)),
-                  std::to_string(entries_after), std::to_string(reb.moved),
-                  bench::Table::Num(static_cast<double>(delta.free_bytes) /
-                                    (1024.0 * 1024.0))});
-    if (entries_after != entries) {
-      std::fprintf(stderr, "FAIL: Rebalance lost keys (%zu -> %zu)\n",
-                   entries, entries_after);
-      ok = false;
-    }
-    if (ratio_adaptive >= 2.0) {
-      std::fprintf(stderr,
-                   "FAIL: rebalanced range imbalance %.2f (gate: < 2.0, "
-                   "was %.2f)\n",
-                   ratio_adaptive, ratio_range);
-      ok = false;
-    }
-    if (reb.moved > 0 && delta.free_bytes == 0) {
-      std::fprintf(stderr,
-                   "FAIL: migration moved %zu entries but freed nothing\n",
-                   reb.moved);
-      ok = false;
+    if (opt.maintenance) {
+      // Background path: the policy task must close the loop by itself —
+      // the bench never calls Rebalance(). Writers are quiesced (the load
+      // is done), which is the policy task's contract.
+      maint::TaskOptions topts;
+      topts.rebalance_threshold = opt.rebalance_threshold;
+      auto mt = maint::MakeMaintenanceThread(
+          &pool, {idx.get()}, topts,
+          std::chrono::microseconds(opt.maint_interval_us));
+      mt->Start();
+      const bool idle = mt->WaitIdle(std::chrono::milliseconds(60000));
+      mt->Stop();
+      std::uint64_t rebalances = 0;
+      for (const auto& rep : mt->StatsSnapshot()) {
+        if (rep.name.rfind("rebalance:", 0) == 0) rebalances += rep.stats.items;
+      }
+      const pm::ThreadStats delta = pm::Stats() - before;
+      const double ratio_maint = ImbalanceRatio(sharded->ShardEntryCounts());
+      const std::size_t entries_after = idx->CountEntries();
+      table.AddRow({"maint", range_kind, bench::Table::Num(ratio_maint),
+                    bench::Table::Num(LookupKops(*idx, queries)),
+                    std::to_string(entries_after),
+                    std::to_string(rebalances),
+                    bench::Table::Num(static_cast<double>(delta.free_bytes) /
+                                      (1024.0 * 1024.0))});
+      if (!idle) {
+        std::fprintf(stderr, "FAIL: maintenance never reached idle\n");
+        ok = false;
+      }
+      if (rebalances == 0) {
+        std::fprintf(stderr, "FAIL: policy task never triggered a rebalance "
+                             "(ratio was %.2f)\n", ratio_range);
+        ok = false;
+      }
+      if (entries_after != entries) {
+        std::fprintf(stderr, "FAIL: background rebalance lost keys "
+                             "(%zu -> %zu)\n", entries, entries_after);
+        ok = false;
+      }
+      if (ratio_maint > opt.rebalance_threshold) {
+        std::fprintf(stderr,
+                     "FAIL: background rebalance imbalance %.2f (gate: <= "
+                     "%.2f, was %.2f)\n",
+                     ratio_maint, opt.rebalance_threshold, ratio_range);
+        ok = false;
+      }
+    } else {
+      const auto reb = sharded->Rebalance();
+      const pm::ThreadStats delta = pm::Stats() - before;
+      const double ratio_adaptive = ImbalanceRatio(sharded->ShardEntryCounts());
+      const std::size_t entries_after = idx->CountEntries();
+      table.AddRow({"adaptive", range_kind, bench::Table::Num(ratio_adaptive),
+                    bench::Table::Num(LookupKops(*idx, queries)),
+                    std::to_string(entries_after), std::to_string(reb.moved),
+                    bench::Table::Num(static_cast<double>(delta.free_bytes) /
+                                      (1024.0 * 1024.0))});
+      if (entries_after != entries) {
+        std::fprintf(stderr, "FAIL: Rebalance lost keys (%zu -> %zu)\n",
+                     entries, entries_after);
+        ok = false;
+      }
+      if (ratio_adaptive >= 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: rebalanced range imbalance %.2f (gate: < 2.0, "
+                     "was %.2f)\n",
+                     ratio_adaptive, ratio_range);
+        ok = false;
+      }
+      if (reb.moved > 0 && delta.free_bytes == 0) {
+        std::fprintf(stderr,
+                     "FAIL: migration moved %zu entries but freed nothing\n",
+                     reb.moved);
+        ok = false;
+      }
     }
   }
 

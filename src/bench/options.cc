@@ -70,13 +70,32 @@ Options ParseOptions(int argc, char** argv) {
       }
     } else if (const char* v = val("--churn=")) {
       o.churn_rounds = std::strtoull(v, nullptr, 10);
+    } else if (a == "--maintenance") {
+      o.maintenance = true;
+    } else if (const char* v = val("--rebalance-threshold=")) {
+      char* end = nullptr;
+      o.rebalance_threshold = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(o.rebalance_threshold > 1.0)) {
+        std::fprintf(stderr, "--rebalance-threshold must be > 1.0\n");
+        std::exit(2);
+      }
+    } else if (const char* v = val("--maint-interval-us=")) {
+      char* end = nullptr;
+      o.maint_interval_us = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || o.maint_interval_us == 0) {
+        // 0 would turn the idle sleep into a busy spin — the opposite of
+        // the flag's purpose.
+        std::fprintf(stderr, "--maint-interval-us must be a positive int\n");
+        std::exit(2);
+      }
     } else if (a == "--csv") {
       o.csv = true;
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "options: --scale=ci|small|paper --n=N --threads=1,2,4 "
           "--shards=S --sharding=range|hash|adaptive --skew=THETA "
-          "--churn=R --csv --seed=S\n");
+          "--churn=R --maintenance --rebalance-threshold=R "
+          "--maint-interval-us=N --csv --seed=S\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());

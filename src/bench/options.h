@@ -18,6 +18,17 @@
 //   --churn=<rounds>         caps the delete-churn round count in benches
 //                            that churn (micro_churn); default: run until
 //                            the bench's allocation-volume target
+//   --maintenance            run the background maintenance tier (DESIGN.md
+//                            §6): limbo draining, drained-range sweeps, and
+//                            the imbalance rebalance policy replace their
+//                            foreground counterparts
+//   --rebalance-threshold=<r>
+//                            imbalance ratio above which the policy task
+//                            triggers a rebalance (default 1.2, must be
+//                            > 1.0); also the convergence gate the
+//                            maintenance benches check
+//   --maint-interval-us=<us> scheduler sleep after an idle maintenance
+//                            cycle (default 1000)
 //   --csv                    machine-readable output
 //   --seed=<u64>             workload seed
 
@@ -39,6 +50,9 @@ struct Options {
   double skew = 0.0;               // --skew=theta; 0 = uniform keys
   bool skew_set = false;  // true when --skew was passed explicitly
   std::size_t churn_rounds = 0;  // --churn=R; 0 = bench-specific default
+  bool maintenance = false;      // --maintenance: background tier on
+  double rebalance_threshold = 1.2;     // --rebalance-threshold=R
+  std::uint64_t maint_interval_us = 1000;  // --maint-interval-us=N
   bool csv = false;
   std::uint64_t seed = 20180213;  // FAST'18 opening day
 

@@ -134,6 +134,26 @@ class BTreeT {
   /// Total live entries (quiescent-state helper for tests/examples).
   std::size_t CountEntries() const;
 
+  /// One budgeted quantum of the background drained-range sweep
+  /// (maintenance tier, DESIGN.md §6). Visits up to `max_leaves` leaves
+  /// starting at the one covering `cursor`, feeding each to
+  /// TryUnlinkEmptySibling so abandoned empty runs — ranges drained by a
+  /// workload that never revisits them, the stranding case lazy repair
+  /// cannot reach — are unlinked, route-repaired, and freed without
+  /// waiting for a writer. Returns the resume cursor; `wrapped` means the
+  /// chain's live tail was passed and the next call should restart at 0.
+  /// Requires Options::reclaim_empty_leaves (no-op otherwise, reported as
+  /// wrapped). Structural writes: same single-writer contract as the
+  /// reclaim paths themselves — run from the one maintenance thread while
+  /// foreground writers are quiesced; concurrent readers are safe (the
+  /// quantum pins the reclamation epoch like any writer op).
+  struct SweepResult {
+    Key next_cursor = 0;       // pass back on the next call
+    bool wrapped = false;      // swept past the last live key; restart at 0
+    std::size_t unlinked = 0;  // dead leaves unlinked + eagerly repaired
+  };
+  SweepResult SweepDrainedRanges(Key cursor, int max_leaves);
+
   /// Structural validation for tests: sortedness, fences, level links,
   /// global leaf-chain order. Quiescent trees only. Returns true if OK.
   bool CheckInvariants(std::string* msg = nullptr) const;
@@ -172,7 +192,8 @@ class BTreeT {
   /// and eagerly repairs + frees them via RepairDeadRoutes. Caller holds
   /// `n`'s lock and passes the key its operation targeted (the repair
   /// range's lower bound). Only with Options::reclaim_empty_leaves.
-  void TryUnlinkEmptySibling(NodeT* n, Key op_key);
+  /// Returns the number of leaves unlinked (the sweep task's work metric).
+  int TryUnlinkEmptySibling(NodeT* n, Key op_key);
 
   /// Removes the parent separator routing to `dead` (found via `hint_key`,
   /// the key whose traversal hit the dead node). Idempotent.

@@ -349,13 +349,13 @@ void BTreeT<P>::AdoptSibling(NodeT* right, std::uint16_t parent_level) {
 }
 
 template <std::size_t P>
-void BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
+int BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
   RealMem m;
   const std::uint64_t sib_u = Ops::LoadSibling(m, n);
-  if (sib_u == 0) return;
+  if (sib_u == 0) return 0;
   if (!AsNode(sib_u)->is_leaf() || Ops::LoadPtrAt(m, AsNode(sib_u), 0) != 0 ||
       Ops::LoadPtrAt(m, AsNode(sib_u), 1) != 0) {
-    return;  // cheap unlocked pre-check: only empty leaves are reclaimed
+    return 0;  // cheap unlocked pre-check: only empty leaves are reclaimed
   }
   // Unlink the maximal run of consecutive empty right siblings (delete
   // churn drains whole ranges; unlinking one leaf per op would leave most
@@ -418,6 +418,61 @@ void BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
     RepairDeadRoutes(static_cast<std::uint16_t>(n->hdr.level + 1),
                      op_key, hint);
   }
+  return unlinked;
+}
+
+template <std::size_t P>
+typename BTreeT<P>::SweepResult BTreeT<P>::SweepDrainedRanges(Key cursor,
+                                                              int max_leaves) {
+  SweepResult r;
+  r.next_cursor = cursor;
+  if (!opts_.reclaim_empty_leaves) {
+    r.wrapped = true;
+    return r;
+  }
+  // Pin once for the whole quantum, like a foreground op: nodes the unlink
+  // path frees stay unrecycled until this sweep (and every older reader)
+  // unpins.
+  pm::EpochGuard guard;
+  RealMem m;
+  for (int i = 0; i < max_leaves; ++i) {
+    NodeT* leaf = FindLeaf(r.next_cursor);
+    leaf = LockCovering(leaf, r.next_cursor);
+    if (leaf == nullptr) continue;  // dead node repaired; retry the cursor
+    Ops::FixNode(m, leaf, detail::ResolveNode<NodeT>);
+    r.unlinked +=
+        static_cast<std::size_t>(TryUnlinkEmptySibling(leaf, r.next_cursor));
+    // Advance past this leaf: the first key of the first live node to the
+    // right. Best-effort and unlocked past the leaf — the cursor is a
+    // position hint, never a correctness input; a lost race only makes the
+    // next quantum re-cover a range.
+    const std::uint64_t sib_u = Ops::LoadSibling(m, leaf);
+    leaf->hdr.lock.unlock();
+    bool advanced = false;
+    NodeT* probe = AsNode(sib_u);
+    for (int hops = 0; probe != nullptr && hops < 256; ++hops) {
+      if (!Ops::IsDead(m, probe) && Ops::CountRaw(m, probe) != 0) {
+        const int first = Ops::HasHoleAtZero(m, probe) ? 1 : 0;
+        const Key k = Ops::LoadKeyAt(m, probe, first);
+        if (k > r.next_cursor) {
+          r.next_cursor = k;
+          advanced = true;
+        }
+        break;
+      }
+      probe = AsNode(Ops::LoadSibling(m, probe));
+    }
+    if (!advanced) {
+      // No live key to the right: the chain's tail is swept (an empty
+      // leftmost/rightmost remnant is the bounded O(1)-per-level residue
+      // the unlink rules keep, exactly like the tombstone story in
+      // DESIGN.md §3.1). Wrap for the next quantum.
+      r.next_cursor = 0;
+      r.wrapped = true;
+      return r;
+    }
+  }
+  return r;
 }
 
 template <std::size_t P>

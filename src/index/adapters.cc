@@ -11,6 +11,7 @@
 #include "core/btree.h"
 #include "index/hash_sharded.h"
 #include "index/sharded.h"
+#include "maint/tasks.h"
 
 namespace fastfair {
 namespace {
@@ -38,6 +39,25 @@ class Wrap final : public Index {
       return impl_.CountEntries();
     } else {
       return Index::CountEntries();
+    }
+  }
+
+  void CollectMaintenanceTasks(
+      const maint::TaskOptions& opts,
+      std::vector<std::unique_ptr<maint::MaintenanceTask>>* out) override {
+    // A reclaiming tree contributes the background drained-range sweep;
+    // every other wrapped structure has nothing to maintain.
+    if constexpr (requires {
+                    impl_.SweepDrainedRanges(Key{0}, 1);
+                    impl_.options();
+                  }) {
+      if (impl_.options().reclaim_empty_leaves) {
+        out->push_back(std::make_unique<maint::SweepTask<T>>(
+            "sweep:" + name_, &impl_, opts));
+      }
+    } else {
+      (void)opts;
+      (void)out;
     }
   }
 
@@ -144,6 +164,10 @@ std::vector<std::string> AllIndexKinds() {
           "fptree", "wort", "skiplist", "blink", "sharded-fastfair",
           "hashed-fastfair"};
 }
+
+void Index::CollectMaintenanceTasks(
+    const maint::TaskOptions& /*opts*/,
+    std::vector<std::unique_ptr<maint::MaintenanceTask>>* /*out*/) {}
 
 std::size_t Index::CountEntries() const {
   // Batched full scan; correct for any implementation whose Scan returns

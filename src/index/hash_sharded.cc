@@ -97,4 +97,12 @@ std::vector<std::size_t> HashShardedIndex::ShardEntryCounts() const {
   return detail::PerShardEntryCounts(shards_);
 }
 
+void HashShardedIndex::CollectMaintenanceTasks(
+    const maint::TaskOptions& opts,
+    std::vector<std::unique_ptr<maint::MaintenanceTask>>* out) {
+  for (const auto& shard : shards_) {
+    shard->CollectMaintenanceTasks(opts, out);
+  }
+}
+
 }  // namespace fastfair

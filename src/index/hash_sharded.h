@@ -76,6 +76,13 @@ class HashShardedIndex final : public Index {
   /// ImbalanceRatio (index/sharded.h) for the skew metric.
   std::vector<std::size_t> ShardEntryCounts() const;
 
+  /// No policy task of its own (hash routing is skew-immune by
+  /// construction); recurses into the shards so a reclaiming inner kind
+  /// still contributes its per-shard sweep tasks.
+  void CollectMaintenanceTasks(
+      const maint::TaskOptions& opts,
+      std::vector<std::unique_ptr<maint::MaintenanceTask>>* out) override;
+
  private:
   std::vector<std::unique_ptr<Index>> shards_;
   std::string name_;

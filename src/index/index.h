@@ -37,6 +37,11 @@
 
 namespace fastfair {
 
+namespace maint {
+class MaintenanceTask;
+struct TaskOptions;
+}  // namespace maint
+
 /// Streaming cursor over an index's entries in ascending key order.
 /// Obtained from Index::NewScanIterator; lives at most as long as the index
 /// it iterates. Semantics under concurrent mutation match Scan's: entries
@@ -86,6 +91,17 @@ class Index {
   /// chaining; hashed: bounded k-way merge). The iterator borrows the
   /// index — it must not outlive it.
   virtual std::unique_ptr<ScanIterator> NewScanIterator(Key min_key) const;
+
+  /// Maintenance integration (src/maint, DESIGN.md §6): appends this
+  /// index's background tasks to `*out` — an imbalance policy for the
+  /// range-sharded adapter, a drained-range sweep per reclaiming tree;
+  /// composite adapters recurse into their sub-indexes. Default: no tasks
+  /// (most kinds have nothing to maintain). The tasks borrow this index —
+  /// stop the scheduler before destroying it — and inherit the quiesced-
+  /// writer contract of the operations they wrap (maint/maintenance.h).
+  virtual void CollectMaintenanceTasks(
+      const maint::TaskOptions& opts,
+      std::vector<std::unique_ptr<maint::MaintenanceTask>>* out);
 };
 
 /// Factory over the registry above; throws std::invalid_argument for an

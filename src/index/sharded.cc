@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "maint/tasks.h"
 #include "pm/reclaim.h"
 
 namespace fastfair {
@@ -248,6 +249,15 @@ std::unique_ptr<ScanIterator> ShardedIndex::NewScanIterator(
   return std::make_unique<ChainedScanIterator>(&shards_, first, min_key);
 }
 
+void ShardedIndex::CollectMaintenanceTasks(
+    const maint::TaskOptions& opts,
+    std::vector<std::unique_ptr<maint::MaintenanceTask>>* out) {
+  out->push_back(std::make_unique<maint::ImbalancePolicyTask>(this, opts));
+  for (const auto& shard : shards_) {
+    shard->CollectMaintenanceTasks(opts, out);
+  }
+}
+
 ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
   std::lock_guard lk(rebalance_mu_);
   // A reader from a *previous* Rebalance could in principle still hold a
@@ -264,7 +274,19 @@ ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
   for (const std::size_t c : counts) total += c;
   r.imbalance_before = ImbalanceRatio(counts);
   r.imbalance_after = r.imbalance_before;
-  if (n_shards == 1 || total == 0) return r;
+  if (n_shards == 1 || total == 0) {
+    // Nothing to migrate, but still resync the approximate counters to the
+    // exact counts: upserts over duplicate keys overcount them (+1 per
+    // re-insert) and that phantom residue otherwise accumulates forever,
+    // feeding the imbalance policy (maint/tasks.h) a signal with no
+    // substance behind it.
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      counters_[s].entries.store(static_cast<std::int64_t>(counts[s]),
+                                 std::memory_order_relaxed);
+    }
+    SampleHistogram();
+    return r;
+  }
 
   // New boundaries at the observed key quantiles: boundary j (first key of
   // new shard j+1) is the key at global rank ceil((j+1) * total / N), so

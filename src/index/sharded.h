@@ -158,6 +158,13 @@ class ShardedIndex final : public Index {
     sample_interval_.store(ops, std::memory_order_relaxed);
   }
 
+  /// Current sampling interval (0 = disabled). The imbalance policy task
+  /// (maint/tasks.h) reads this to re-enable a sane default when a caller
+  /// disabled sampling and then attached a policy that needs the signal.
+  std::size_t sample_interval() const {
+    return sample_interval_.load(std::memory_order_relaxed);
+  }
+
   /// The most recent sampled entry-count histogram (empty until the first
   /// sample interval elapses).
   std::vector<std::size_t> LastHistogram() const;
@@ -201,6 +208,13 @@ class ShardedIndex final : public Index {
   /// best-effort across a rebalance. Calls serialize on an internal
   /// mutex.
   RebalanceResult Rebalance();
+
+  /// Contributes an ImbalancePolicyTask that closes the histogram →
+  /// Rebalance loop in the background, then recurses into the shards (a
+  /// reclaiming inner kind adds its per-shard sweep tasks).
+  void CollectMaintenanceTasks(
+      const maint::TaskOptions& opts,
+      std::vector<std::unique_ptr<maint::MaintenanceTask>>* out) override;
 
  private:
   // Padded so two shards' counters never share a cache line: the counters

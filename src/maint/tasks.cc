@@ -1,0 +1,93 @@
+#include "maint/tasks.h"
+
+#include <algorithm>
+
+#include "pm/reclaim.h"
+
+namespace fastfair::maint {
+
+namespace {
+// Re-enabled by ImbalancePolicyTask when sampling was turned off: matches
+// ShardedIndex's construction-time default (index/sharded.h).
+constexpr std::size_t kDefaultSampleInterval = 4096;
+}  // namespace
+
+std::unique_ptr<MaintenanceThread> MakeMaintenanceThread(
+    pm::Pool* pool, const std::vector<Index*>& indexes,
+    const TaskOptions& opts, std::chrono::microseconds interval) {
+  MaintenanceThread::Options mo;
+  mo.interval = interval;
+  auto mt = std::make_unique<MaintenanceThread>(mo);
+  mt->AddTask(std::make_unique<PoolDrainTask>(pool, opts));
+  std::vector<std::unique_ptr<MaintenanceTask>> tasks;
+  for (Index* idx : indexes) {
+    if (idx != nullptr) idx->CollectMaintenanceTasks(opts, &tasks);
+  }
+  for (auto& t : tasks) mt->AddTask(std::move(t));
+  return mt;
+}
+
+PoolDrainTask::PoolDrainTask(pm::Pool* pool, const TaskOptions& opts)
+    : pool_(pool), budget_(opts.drain_blocks_per_quantum) {}
+
+QuantumResult PoolDrainTask::RunQuantum() {
+  // Advance the epoch first: entries stamped at the previous epoch become
+  // recyclable as soon as every reader pinned at it unpins, without any
+  // foreground free having to notice.
+  pm::epoch::TryAdvance();
+  QuantumResult q;
+  q.bytes = pool_->DrainLimboQuantum(budget_);
+  q.items = q.bytes != 0 ? 1 : 0;
+  // limbo_empty is the lock-free mirror: entries still epoch-pinned keep
+  // it false, which is right — they are pending work for a later quantum.
+  q.at_rest = pool_->limbo_empty();
+  return q;
+}
+
+ImbalancePolicyTask::ImbalancePolicyTask(ShardedIndex* idx,
+                                         const TaskOptions& opts)
+    : idx_(idx),
+      threshold_(std::max(opts.rebalance_threshold, 1.01)),
+      min_entries_(opts.rebalance_min_entries_per_shard * idx->num_shards()),
+      name_("rebalance:" + std::string(idx->name())) {
+  // The policy is only as good as its signal: benches and applications
+  // never remember to call SetSampleInterval, so guarantee the histogram
+  // flows the moment a policy is attached.
+  if (idx_->sample_interval() == 0) {
+    idx_->SetSampleInterval(kDefaultSampleInterval);
+  }
+}
+
+QuantumResult ImbalancePolicyTask::RunQuantum() {
+  QuantumResult q;
+  // The sampled histogram is the designed signal, but it refreshes only
+  // every sample_interval mutations per shard — right after a write burst
+  // it can lag. The relaxed live counters are always current and cost N
+  // relaxed loads, so act on the worse of the two views.
+  const auto hist = idx_->LastHistogram();
+  const auto approx = idx_->ApproxShardEntries();
+  double ratio = ImbalanceRatio(approx);
+  std::size_t total = 0;
+  for (const std::size_t c : approx) total += c;
+  if (!hist.empty()) {
+    ratio = std::max(ratio, ImbalanceRatio(hist));
+  }
+  if (total < min_entries_ || ratio <= threshold_) {
+    q.at_rest = true;
+    return q;
+  }
+  const auto r = idx_->Rebalance();
+  if (r.moved == 0) {
+    // The signal was stale or noise (e.g. counter drift on an index whose
+    // exact occupancy is already balanced): Rebalance resynced the
+    // counters, nothing was actionable — rest, don't spin.
+    q.at_rest = true;
+    return q;
+  }
+  q.items = 1;  // rebalances triggered
+  // Not at rest: the next quantum re-reads the (resynced) counters and
+  // confirms convergence — or fires again if the workload re-skewed.
+  return q;
+}
+
+}  // namespace fastfair::maint

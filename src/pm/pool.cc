@@ -470,6 +470,88 @@ void Pool::TryDrainOverflow() {
   }
 }
 
+std::size_t Pool::DrainLimboQuantum(std::size_t max_blocks) {
+  if (overflow_n_.load(std::memory_order_relaxed) == 0) return 0;
+  std::unique_lock<std::mutex> lk(overflow_mu_, std::try_to_lock);
+  if (!lk.owns_lock() || overflow_limbo_.empty()) return 0;
+  const std::uint64_t min_pinned = epoch::MinPinned();
+  bool pushed[kNumClasses] = {};
+  std::size_t bytes = 0;
+  std::size_t moved = 0;
+  std::size_t kept = 0;
+  for (auto& e : overflow_limbo_) {
+    if (moved < max_blocks && e.stamp < min_pinned) {
+      const int cls = FloorClass(e.size) - kMinClass;
+      PushGlobal(cls, e.off, e.size);
+      pushed[cls] = true;
+      bytes += e.size;
+      ++moved;
+    } else {
+      overflow_limbo_[kept++] = e;
+    }
+  }
+  overflow_limbo_.resize(kept);
+  overflow_n_.store(kept, std::memory_order_relaxed);
+  if (persist_free_) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      if (pushed[c]) Clflush(&header()->free_heads[c]);
+    }
+    Sfence();
+  }
+  return bytes;
+}
+
+std::size_t Pool::FlushThreadLimbo() {
+  ReclaimSlot* slot = ReclaimFor(false);
+  if (slot == nullptr) return 0;
+  std::size_t bytes = 0;
+  // Spill the per-class caches first: those blocks are already recyclable,
+  // they just sit where only this thread's Alloc would find them.
+  bool pushed[kNumClasses] = {};
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (int i = 0; i < slot->cache_n[c]; ++i) {
+      PushGlobal(c, slot->cache[c][i].off, slot->cache[c][i].size);
+      bytes += slot->cache[c][i].size;
+      pushed[c] = true;
+    }
+    slot->cache_n[c] = 0;
+  }
+  if (persist_free_) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      if (pushed[c]) Clflush(&header()->free_heads[c]);
+    }
+    Sfence();
+  }
+  // Park the limbo entries — stamps intact, the epoch deferral still
+  // applies — in the pool-level overflow list, where DrainLimboQuantum
+  // (maintenance) or any foreground allocation miss can finish the job.
+  if (slot->limbo_n != 0) {
+    try {
+      std::lock_guard<std::mutex> lk(overflow_mu_);
+      overflow_limbo_.reserve(overflow_limbo_.size() +
+                              static_cast<std::size_t>(slot->limbo_n));
+      for (int i = 0; i < slot->limbo_n; ++i) {
+        overflow_limbo_.push_back(
+            {slot->limbo[i].off, slot->limbo[i].size, slot->limbo[i].stamp});
+        bytes += slot->limbo[i].size;
+      }
+      overflow_n_.store(overflow_limbo_.size(), std::memory_order_relaxed);
+      slot->limbo_n = 0;
+    } catch (...) {
+      // DRAM heap failure: the entries stay in the thread-local limbo, the
+      // same bounded deferral they were in before the call.
+    }
+  }
+  return bytes;
+}
+
+std::size_t Pool::limbo_bytes() const {
+  std::lock_guard<std::mutex> lk(overflow_mu_);
+  std::size_t bytes = 0;
+  for (const auto& e : overflow_limbo_) bytes += e.size;
+  return bytes;
+}
+
 void* Pool::TryRecycle(std::size_t size, std::size_t align) {
   if (size < kMinRecycle || align > kCacheLineSize) return nullptr;
   const int c_hi = CeilClass(size) - kMinClass;

@@ -137,6 +137,42 @@ class Pool {
     free_hook_ = fn;
   }
 
+  // --- background maintenance entry points (src/maint, DESIGN.md §6) -------
+
+  /// Budgeted background drain of the pool-level overflow limbo: pushes up
+  /// to `max_blocks` entries whose epoch stamp has been waited out
+  /// (stamp < epoch::MinPinned()) onto the shared per-size-class free
+  /// lists, where any thread's Alloc can recycle them. This is the
+  /// writer-free counterpart of the opportunistic TryDrainOverflow that
+  /// allocation misses run: a maintenance thread calling
+  /// `epoch::TryAdvance()` + `DrainLimboQuantum()` drains limbo that no
+  /// foreground free would otherwise ever revisit. Returns the bytes made
+  /// recyclable. Thread-safe (pool-level mutex, try-lock — a racing
+  /// foreground drain just makes this quantum a no-op).
+  std::size_t DrainLimboQuantum(std::size_t max_blocks = SIZE_MAX);
+
+  /// Hands this thread's private reclaim state to the pool: limbo entries
+  /// move (epoch stamps intact) to the pool-level overflow limbo, and the
+  /// thread's free-list caches spill to the shared per-class lists. Call
+  /// when a worker goes idle or retires — afterwards the maintenance
+  /// thread's DrainLimboQuantum can finish the reclamation without this
+  /// thread ever freeing again. Returns the bytes handed over.
+  std::size_t FlushThreadLimbo();
+
+  /// Bytes currently parked in the pool-level overflow limbo (freed, epoch
+  /// deferral not yet waited out or not yet drained). Telemetry for the
+  /// maintenance tier; per-thread limbo lists are private until
+  /// FlushThreadLimbo and are not counted. Takes the overflow mutex —
+  /// use limbo_empty() for the per-quantum probe.
+  std::size_t limbo_bytes() const;
+
+  /// Lock-free probe of the same state (relaxed mirror of the entry
+  /// count): the maintenance scheduler's at-rest check, safe to call
+  /// every cycle without touching the overflow mutex.
+  bool limbo_empty() const {
+    return overflow_n_.load(std::memory_order_relaxed) == 0;
+  }
+
   /// 8-byte root pointer slot in the pool header: set atomically + persisted.
   /// This is how an application finds its tree after restart.
   void SetRoot(const void* p);
@@ -220,7 +256,7 @@ class Pool {
     std::uint32_t size;
     std::uint64_t stamp;
   };
-  std::mutex overflow_mu_;
+  mutable std::mutex overflow_mu_;  // mutable: limbo_bytes() is const telemetry
   std::vector<OverflowEntry> overflow_limbo_;
   // Relaxed mirror of overflow_limbo_.size(): lets allocation misses skip
   // the mutex entirely on pools that have no parked overflow.

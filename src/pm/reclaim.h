@@ -59,6 +59,11 @@ std::uint64_t MinPinned();
 /// Bumps the global epoch unless some guard is still pinned at an older
 /// epoch (a lagging reader; bumping past it would be meaningless — safety
 /// comes from MinPinned, not from the clock). Returns true if bumped.
+/// Foreground frees call this opportunistically; the background
+/// maintenance tier (src/maint) is the traffic-independent caller — its
+/// pool-drain task advances the epoch and then drains the pool-level
+/// limbo (Pool::DrainLimboQuantum) so deferred frees retire even when no
+/// writer ever frees again.
 bool TryAdvance();
 
 }  // namespace epoch

@@ -3,8 +3,11 @@
 #include <memory>
 #include <vector>
 
+#include <chrono>
+
 #include "common/rng.h"
 #include "index/sharded.h"
+#include "maint/tasks.h"
 
 namespace fastfair::tpcc {
 
@@ -35,6 +38,22 @@ std::unique_ptr<Index> MakeTable(std::string_view kind, pm::Pool* pool,
 }
 
 }  // namespace
+
+Db::~Db() { StopMaintenance(); }
+
+void Db::StartMaintenance(const maint::TaskOptions& opts,
+                          std::uint64_t interval_us) {
+  if (maint_ != nullptr) return;
+  maint_ = maint::MakeMaintenanceThread(
+      pool_, tables(), opts, std::chrono::microseconds(interval_us));
+  maint_->Start();
+}
+
+void Db::StopMaintenance() {
+  if (maint_ == nullptr) return;
+  maint_->Stop();
+  maint_.reset();
+}
 
 std::vector<Index*> Db::tables() const {
   return {warehouse_.get(), district_.get(),  customer_.get(),

@@ -13,6 +13,11 @@
 #include "pm/pool.h"
 #include "tpcc/schema.h"
 
+namespace fastfair::maint {
+class MaintenanceThread;
+struct TaskOptions;
+}  // namespace fastfair::maint
+
 namespace fastfair::tpcc {
 
 struct Config {
@@ -32,9 +37,28 @@ class Db {
   /// prefix; a hashed- kind needs no such help (the fibonacci hash spreads
   /// the packed keys by itself) and goes straight to the registry.
   Db(std::string_view kind, const Config& cfg, pm::Pool* pool);
+  ~Db();  // StopMaintenance() first: tasks borrow the table indexes
 
   const Config& config() const { return cfg_; }
   pm::Pool* pool() const { return pool_; }
+
+  /// Opt-in background maintenance (DESIGN.md §6): starts one scheduler
+  /// thread over the pool's limbo-drain task plus every task the nine
+  /// table indexes contribute (imbalance policies for sharded tables,
+  /// sweeps for reclaiming ones). Structural tasks inherit the quiesced-
+  /// writer contract (maint/maintenance.h): start between write bursts —
+  /// e.g. after population, before RunMix — or pair with StopMaintenance
+  /// around them. No-op if already started.
+  void StartMaintenance(const maint::TaskOptions& opts,
+                        std::uint64_t interval_us = 1000);
+
+  /// Stops and joins the scheduler (clean epoch-pinned shutdown: the
+  /// in-flight quantum completes, the thread's pin slot is released).
+  /// No-op when maintenance is not running.
+  void StopMaintenance();
+
+  /// The running scheduler (stats polling), or nullptr.
+  maint::MaintenanceThread* maintenance() { return maint_.get(); }
 
   /// True when every table index supports concurrent callers — the gate for
   /// the multi-threaded RunMix overload.
@@ -92,6 +116,7 @@ class Db {
   pm::Pool* pool_;
   std::unique_ptr<Index> warehouse_, district_, customer_, item_, stock_,
       order_, neworder_, orderline_, customer_order_;
+  std::unique_ptr<maint::MaintenanceThread> maint_;
 };
 
 }  // namespace fastfair::tpcc

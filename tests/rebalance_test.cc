@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "common/rng.h"
 #include "index/index.h"
 #include "index/sharded.h"
+#include "maint/tasks.h"
 #include "pm/persist.h"
 #include "pm/pool.h"
 
@@ -189,6 +191,45 @@ TEST(ShardedRebalance, ConcurrentReadersNeverMissKeysDuringRebalance) {
   EXPECT_GT(lookups.load(), 0u);
   EXPECT_LT(ImbalanceRatio(idx->ShardEntryCounts()), 2.0);
   EXPECT_EQ(idx->CountEntries(), kN);
+}
+
+TEST(ShardedRebalance, StopMidRebalanceLosesNoKeys) {
+  // Maintenance shutdown race: StopMaintenance() while the policy task's
+  // rebalance quantum is mid-migration. The scheduler interrupts between
+  // quanta, never inside one — the in-flight copy→publish→delete protocol
+  // always completes — so no timing of Stop() may lose a key. Sweep the
+  // stop delay from "before the policy ever fires" to "long after it
+  // finished" to land on every phase of the migration across trials.
+  constexpr std::uint64_t kN = 30000;
+  const int delays_us[] = {0, 50, 200, 1000, 5000, 20000};
+  for (const int delay_us : delays_us) {
+    pm::Pool pool(std::size_t{1} << 30);
+    auto idx = MakeSharded(&pool, 8);
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      idx->Insert(ClusteredKey(i), i + 1);
+    }
+    ASSERT_GT(ImbalanceRatio(idx->ShardEntryCounts()), 2.0);
+
+    maint::TaskOptions topts;
+    topts.rebalance_threshold = 1.2;
+    std::vector<std::unique_ptr<maint::MaintenanceTask>> tasks;
+    idx->CollectMaintenanceTasks(topts, &tasks);
+    maint::MaintenanceThread::Options mo;
+    mo.interval = std::chrono::microseconds(50);
+    maint::MaintenanceThread mt(mo);
+    for (auto& t : tasks) mt.AddTask(std::move(t));
+    mt.Start();
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    mt.Stop();  // joins; a mid-migration quantum completes first
+
+    // Zero lost keys whether the rebalance never started, was cut short
+    // between quanta, or completed.
+    EXPECT_EQ(idx->CountEntries(), kN) << "delay " << delay_us << "us";
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(idx->Search(ClusteredKey(i)), i + 1)
+          << "delay " << delay_us << "us lost key " << i;
+    }
+  }
 }
 
 TEST(ShardedRebalance, ExplicitBoundaryIndexRebalancesToo) {

@@ -1,0 +1,175 @@
+// Edge cases of Index::NewScanIterator's *default* batched adapter
+// (adapters.cc BatchedScanIterator): empty ranges, result counts landing
+// exactly on the internal batch boundaries (first batch 16, cap 256, with
+// doubling in between: refills happen at 16, 48, 112, 240, 496, 752...),
+// key-space-end termination, and an iterator outliving mutations of the
+// index it borrows (best-effort semantics: entries present for the whole
+// iteration appear exactly once; concurrent inserts/removes may or may
+// not appear, never twice, never out of order).
+//
+// The kind under test is plain "fastfair": it does not override
+// NewScanIterator, so these paths are the default adapter's.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "index/index.h"
+#include "pm/pool.h"
+
+namespace fastfair {
+namespace {
+
+std::unique_ptr<Index> MakeLoaded(pm::Pool* pool, std::size_t n,
+                                  Key stride = 10) {
+  auto idx = MakeIndex("fastfair", pool);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key k = static_cast<Key>(i + 1) * stride;
+    idx->Insert(k, k + 1);
+  }
+  return idx;
+}
+
+std::size_t Drain(ScanIterator* it, std::vector<core::Record>* out = nullptr) {
+  core::Record rec;
+  std::size_t n = 0;
+  Key prev = 0;
+  bool first = true;
+  while (it->Next(&rec)) {
+    if (!first) {
+      EXPECT_LT(prev, rec.key) << "iterator must ascend strictly";
+    }
+    first = false;
+    prev = rec.key;
+    if (out != nullptr) out->push_back(rec);
+    ++n;
+  }
+  return n;
+}
+
+TEST(ScanIteratorDefault, EmptyIndex) {
+  pm::Pool pool(std::size_t{16} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  auto it = idx->NewScanIterator(0);
+  core::Record rec{};
+  EXPECT_FALSE(it->Next(&rec));
+  EXPECT_FALSE(it->Next(&rec)) << "exhaustion must be sticky";
+}
+
+TEST(ScanIteratorDefault, EmptyRangePastAllKeys) {
+  pm::Pool pool(std::size_t{16} << 20);
+  auto idx = MakeLoaded(&pool, 100);
+  auto it = idx->NewScanIterator(100 * 10 + 1);  // beyond the largest key
+  core::Record rec{};
+  EXPECT_FALSE(it->Next(&rec));
+  EXPECT_FALSE(it->Next(&rec));
+}
+
+TEST(ScanIteratorDefault, ResultCountOnBatchBoundaries) {
+  // Around every refill edge of the doubling batch schedule (16, 48, 112,
+  // 240, 496, 752: first-batch 16, cap 256): the count-equal case is the
+  // one where a refill returns a full batch with nothing behind it, and
+  // the next Next() must do one more (empty) refill and report exhaustion
+  // rather than spin or fabricate.
+  for (const std::size_t n :
+       {std::size_t{15}, std::size_t{16}, std::size_t{17}, std::size_t{47},
+        std::size_t{48}, std::size_t{49}, std::size_t{240}, std::size_t{256},
+        std::size_t{496}, std::size_t{752}, std::size_t{753}}) {
+    pm::Pool pool(std::size_t{32} << 20);
+    auto idx = MakeLoaded(&pool, n);
+    auto it = idx->NewScanIterator(0);
+    std::vector<core::Record> got;
+    EXPECT_EQ(Drain(it.get(), &got), n) << "n=" << n;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].key, (i + 1) * 10) << "n=" << n;
+      ASSERT_EQ(got[i].ptr, (i + 1) * 10 + 1) << "n=" << n;
+    }
+    core::Record rec{};
+    EXPECT_FALSE(it->Next(&rec));
+  }
+}
+
+TEST(ScanIteratorDefault, MidRangeStartOnBatchBoundary) {
+  // min_key in the middle, remaining count exactly one first-batch: the
+  // restart-at-last+1 logic must not skip or duplicate around the seam.
+  pm::Pool pool(std::size_t{16} << 20);
+  auto idx = MakeLoaded(&pool, 64);
+  auto it = idx->NewScanIterator(49 * 10);  // 16 keys remain: 490..640
+  std::vector<core::Record> got;
+  EXPECT_EQ(Drain(it.get(), &got), 16u);
+  EXPECT_EQ(got.front().key, 490u);
+  EXPECT_EQ(got.back().key, 640u);
+}
+
+TEST(ScanIteratorDefault, MaxKeyTerminates) {
+  // The largest representable key ends the key space: the adapter cannot
+  // restart at last+1 (it would wrap to 0 and loop forever) and must
+  // detect exhaustion instead.
+  pm::Pool pool(std::size_t{16} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  for (Key k = 1; k <= 20; ++k) idx->Insert(k, k + 1);
+  idx->Insert(~Key{0}, 7);
+  auto it = idx->NewScanIterator(0);
+  std::vector<core::Record> got;
+  EXPECT_EQ(Drain(it.get(), &got), 21u);
+  EXPECT_EQ(got.back().key, ~Key{0});
+  EXPECT_EQ(got.back().ptr, 7u);
+}
+
+TEST(ScanIteratorDefault, IteratorOutlivesMutation) {
+  // Best-effort contract under mutation: keys present for the whole
+  // iteration appear exactly once; keys removed or inserted mid-iteration
+  // may or may not appear — but never twice and never out of order.
+  constexpr std::size_t kN = 1000;
+  pm::Pool pool(std::size_t{32} << 20);
+  auto idx = MakeLoaded(&pool, kN);  // keys 10, 20, ..., 10000
+
+  auto it = idx->NewScanIterator(0);
+  core::Record rec{};
+  std::vector<Key> got;
+  for (int i = 0; i < 100; ++i) {  // consume past the first refills
+    ASSERT_TRUE(it->Next(&rec));
+    got.push_back(rec.key);
+  }
+
+  // Mutate well ahead of the cursor: remove a block, insert odd keys.
+  std::set<Key> removed;
+  for (std::size_t i = 500; i < 600; ++i) {
+    const Key k = static_cast<Key>(i + 1) * 10;
+    ASSERT_TRUE(idx->Remove(k));
+    removed.insert(k);
+  }
+  std::set<Key> added;
+  for (std::size_t i = 700; i < 720; ++i) {
+    const Key k = static_cast<Key>(i + 1) * 10 + 5;
+    idx->Insert(k, k + 1);
+    added.insert(k);
+  }
+
+  while (it->Next(&rec)) got.push_back(rec.key);
+
+  std::set<Key> seen;
+  Key prev = 0;
+  for (const Key k : got) {
+    ASSERT_LT(prev, k) << "mutation must not break ordering";
+    prev = k;
+    ASSERT_TRUE(seen.insert(k).second) << "key " << k << " appeared twice";
+  }
+  // Every key never touched by the mutations appears exactly once.
+  for (std::size_t i = 0; i < kN; ++i) {
+    const Key k = static_cast<Key>(i + 1) * 10;
+    if (removed.count(k) != 0) continue;
+    EXPECT_EQ(seen.count(k), 1u) << "untouched key " << k << " missing";
+  }
+  // Anything else the iterator surfaced must at least be a key that
+  // existed at some point (a removed original or a concurrent insert).
+  for (const Key k : seen) {
+    const bool original = k % 10 == 0 && k >= 10 && k <= kN * 10;
+    EXPECT_TRUE(original || added.count(k) != 0) << "fabricated key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace fastfair
