@@ -8,8 +8,19 @@
 // steeply (one dependent PM read per tree/list hop). FP-tree is flattest at
 // high latency (volatile inner nodes). At 900 ns, SkipList and WORT are
 // several times worse than FAST+FAIR.
+//
+// --batch=N adds a second measurement per index: the same lookups through
+// SearchBatch in application-side chunks of N. Kinds with the batched
+// pipeline (DESIGN.md §8.1) interleave their descents in groups of 8 with
+// one-level-ahead prefetch, so the emulated *serialized* read stall
+// (read_stalls, the quantity the latency injection prices) is paid once
+// per leaf group instead of once per key. Deterministic gate (CI
+// perf-smoke): fastfair's batched rows must show >= 2x fewer read stalls
+// than its scalar rows on the same workload, else exit non-zero.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/options.h"
 #include "bench/runner.h"
@@ -29,7 +40,8 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 5(b): search time vs PM read latency, %zu keys\n", n);
   bench::Table table({"read_latency_ns", "index", "search_us",
-                      "pm_node_reads_per_op"});
+                      "pm_node_reads_per_op", "read_stalls_per_op"});
+  bool gate_ok = true;
   for (const auto& kind : kinds) {
     pm::Pool pool(std::size_t{6} << 30);
     auto idx = MakeIndex(kind, &pool);
@@ -45,12 +57,42 @@ int main(int argc, char** argv) {
           if (idx->Search(k) == kNoValue) std::abort();
         }
       });
-      table.AddRow({rlat == 0 ? "DRAM" : std::to_string(rlat), kind,
-                    bench::Table::Num(phase.PerOpUs(n)),
-                    bench::Table::Num(
-                        static_cast<double>(phase.pm.read_annotations) /
-                            static_cast<double>(n),
-                        1)});
+      const auto per_op = [n](std::uint64_t c) {
+        return static_cast<double>(c) / static_cast<double>(n);
+      };
+      const std::string label = rlat == 0 ? "DRAM" : std::to_string(rlat);
+      table.AddRow({label, kind, bench::Table::Num(phase.PerOpUs(n)),
+                    bench::Table::Num(per_op(phase.pm.read_annotations), 1),
+                    bench::Table::Num(per_op(phase.pm.read_stalls), 2)});
+      if (opt.batch > 0) {
+        std::vector<Value> vals(opt.batch);
+        pm::ResetStats();
+        const auto batched = bench::MeasurePhase([&] {
+          for (std::size_t i = 0; i < keys.size(); i += opt.batch) {
+            const std::size_t c = std::min(opt.batch, keys.size() - i);
+            idx->SearchBatch(keys.data() + i, c, vals.data());
+            for (std::size_t j = 0; j < c; ++j) {
+              if (vals[j] == kNoValue) std::abort();
+            }
+          }
+        });
+        table.AddRow({label, kind + "+b" + std::to_string(opt.batch),
+                      bench::Table::Num(batched.PerOpUs(n)),
+                      bench::Table::Num(per_op(batched.pm.read_annotations), 1),
+                      bench::Table::Num(per_op(batched.pm.read_stalls), 2)});
+        // The pipeline gate only binds the kinds that actually have one;
+        // baselines run the default per-key loop and stay at parity.
+        if (kind == "fastfair" &&
+            batched.pm.read_stalls * 2 > phase.pm.read_stalls) {
+          std::fprintf(stderr,
+                       "GATE FAIL fig5b: %s rlat=%d batched read stalls "
+                       "%llu not >=2x below scalar %llu\n",
+                       kind.c_str(), rlat,
+                       static_cast<unsigned long long>(batched.pm.read_stalls),
+                       static_cast<unsigned long long>(phase.pm.read_stalls));
+          gate_ok = false;
+        }
+      }
     }
   }
   pm::SetConfig(pm::Config{});
@@ -59,5 +101,5 @@ int main(int argc, char** argv) {
   } else {
     table.Print();
   }
-  return 0;
+  return gate_ok ? 0 : 1;
 }

@@ -15,9 +15,17 @@
 // cuts), hash (fibonacci hash over the packed keys — no boundary
 // derivation needed), or adaptive (range + a Rebalance() pass over every
 // table after population).
+// --batch=N populates the bulk tables (ITEM, STOCK, ORDER-LINE) through
+// InsertBatch chunks of N (the batched pipeline, DESIGN.md §8); the
+// post-population sanity check always verifies the ITEM and STOCK tables
+// through SearchBatch (order-independent, so the pipelined path is free
+// CI-wall-time savings over a scalar loop).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "bench/options.h"
 #include "bench/table.h"
@@ -25,6 +33,44 @@
 #include "maint/maintenance.h"
 #include "maint/tasks.h"
 #include "tpcc/driver.h"
+
+namespace {
+
+// Post-population sanity: every ITEM and STOCK key answers. Batched
+// lookups (order-independent verification) so the batch-native kinds run
+// their pipelined descents.
+void VerifyPopulated(fastfair::tpcc::Db& db,
+                     const fastfair::tpcc::Config& cfg) {
+  using namespace fastfair;
+  std::vector<Key> keys;
+  keys.reserve(cfg.items * (1 + cfg.warehouses));
+  for (std::uint32_t i = 0; i < cfg.items; ++i) {
+    keys.push_back(tpcc::ItemKey(i));
+  }
+  const std::size_t n_item = keys.size();
+  for (std::uint32_t w = 0; w < cfg.warehouses; ++w) {
+    for (std::uint32_t i = 0; i < cfg.items; ++i) {
+      keys.push_back(tpcc::StockKey(w, i));
+    }
+  }
+  std::vector<Value> vals(1024);
+  const auto check = [&](const Index& idx, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; i += vals.size()) {
+      const std::size_t c = std::min(vals.size(), hi - i);
+      idx.SearchBatch(keys.data() + i, c, vals.data());
+      for (std::size_t j = 0; j < c; ++j) {
+        if (vals[j] == kNoValue) {
+          std::fprintf(stderr, "FAIL: populated row missing\n");
+          std::exit(1);
+        }
+      }
+    }
+  };
+  check(db.item(), 0, n_item);
+  check(db.stock(), n_item, keys.size());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fastfair;
@@ -49,6 +95,13 @@ int main(int argc, char** argv) {
   pm::Config pmcfg;
   pmcfg.read_latency_ns = 300;
   pmcfg.write_latency_ns = 300;
+  if (opt.wc) {
+    // Measured mixes run with per-operation write combining (DESIGN.md
+    // §8.2): the core-tree tables dedupe their flushes and fence once per
+    // Insert/Remove.
+    pmcfg.persistency = pm::Persistency::kRelaxed;
+    pmcfg.coalesce_flushes = true;
+  }
 
   const std::vector<std::string> kinds = {"fastfair", opt.ShardedKind(),
                                           "fptree", "wbtree", "wort",
@@ -78,7 +131,9 @@ int main(int argc, char** argv) {
         if (t > 1 && !concurrent) continue;
         pm::SetConfig(pm::Config{});  // populate at DRAM speed
         pm::Pool pool(std::size_t{8} << 30);
+        cfg.populate_batch = opt.batch;
         tpcc::Db db(kind, cfg, &pool);
+        VerifyPopulated(db, cfg);
         if (opt.maintenance) {
           // Maintenance window between population and the timed mix: the
           // Db's background scheduler (pool drain + one imbalance policy

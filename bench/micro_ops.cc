@@ -1,9 +1,25 @@
 // google-benchmark microbenchmarks for the core primitives: node-level
 // FAST operations, pool allocation, flush/fence costs, and point ops on
-// the assembled tree. Complements the figure harnesses with
-// statistically-sound per-op numbers.
+// the assembled tree — scalar and batched (SearchBatch/InsertBatch,
+// DESIGN.md §8). Complements the figure harnesses with statistically-sound
+// per-op numbers.
+//
+// Custom main (not benchmark_main): strips a `--json=<path>` flag before
+// handing the rest to google-benchmark and, when given, emits every run as
+// one JSON object per benchmark — items/sec plus the pm counter rates
+// (flush/fence/read-annotation/read-stall per op) the perf trajectory
+// tracks. BENCH_micro_ops.json at the repo root is the committed baseline;
+// the CI perf-smoke job regenerates it as a build artifact and gates on
+// the deterministic counter ratio: BM_TreeSearchBatch must pay >= 2x fewer
+// serialized read stalls per op than BM_TreeSearch.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/workload.h"
 #include "core/btree.h"
@@ -16,6 +32,21 @@ namespace {
 using namespace fastfair;
 using NodeT = core::Node<512>;
 using Ops = core::NodeOps<NodeT, core::RealMem>;
+
+/// Publishes this run's pm-counter deltas as per-op benchmark counters
+/// (google-benchmark folds them into the report; the JSON emitter and the
+/// stall gate read them back). Call after the state loop.
+void SetPmCounters(benchmark::State& state, const pm::ThreadStats& delta,
+                   double ops) {
+  if (ops <= 0) return;
+  state.counters["flush_per_op"] =
+      static_cast<double>(delta.flush_lines) / ops;
+  state.counters["fence_per_op"] = static_cast<double>(delta.fences) / ops;
+  state.counters["pm_reads_per_op"] =
+      static_cast<double>(delta.read_annotations) / ops;
+  state.counters["read_stalls_per_op"] =
+      static_cast<double>(delta.read_stalls) / ops;
+}
 
 void BM_NodeInsertAscending(benchmark::State& state) {
   alignas(64) NodeT node;
@@ -116,13 +147,38 @@ void BM_TreeInsert(benchmark::State& state) {
   pm::Pool pool(std::size_t{4} << 30);
   core::BTree tree(&pool);
   Rng rng(1);
+  const auto before = pm::Stats();
   for (auto _ : state) {
     const Key k = rng.Next() | 1;
     tree.Insert(k, 2 * k + 1);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  SetPmCounters(state, pm::Stats() - before,
+                static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_TreeInsert);
+
+void BM_TreeInsertBatch(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  pm::Pool pool(std::size_t{4} << 30);
+  core::BTree tree(&pool);
+  constexpr std::size_t kBatch = 256;
+  core::Record ops[kBatch];
+  Rng rng(1);
+  const auto before = pm::Stats();
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < kBatch; ++j) {
+      const Key k = rng.Next() | 1;
+      ops[j] = {k, 2 * k + 1};
+    }
+    tree.InsertBatch(ops, kBatch);
+  }
+  const double items =
+      static_cast<double>(state.iterations()) * static_cast<double>(kBatch);
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  SetPmCounters(state, pm::Stats() - before, items);
+}
+BENCHMARK(BM_TreeInsertBatch);
 
 void BM_TreeSearch(benchmark::State& state) {
   pm::SetConfig(pm::Config{});
@@ -131,13 +187,39 @@ void BM_TreeSearch(benchmark::State& state) {
   const auto keys = bench::UniformKeys(200000, 3);
   for (const Key k : keys) tree.Insert(k, 2 * k + 1);
   std::size_t i = 0;
+  const auto before = pm::Stats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.Search(keys[i]));
     i = (i + 1) % keys.size();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  SetPmCounters(state, pm::Stats() - before,
+                static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_TreeSearch);
+
+void BM_TreeSearchBatch(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  pm::Pool pool(std::size_t{4} << 30);
+  core::BTree tree(&pool);
+  const auto keys = bench::UniformKeys(200000, 3);
+  for (const Key k : keys) tree.Insert(k, 2 * k + 1);
+  constexpr std::size_t kBatch = 1024;
+  std::vector<Value> vals(kBatch);
+  std::size_t off = 0;
+  const auto before = pm::Stats();
+  for (auto _ : state) {
+    if (off + kBatch > keys.size()) off = 0;
+    tree.SearchBatch(keys.data() + off, kBatch, vals.data());
+    benchmark::DoNotOptimize(vals.data());
+    off += kBatch;
+  }
+  const double items =
+      static_cast<double>(state.iterations()) * static_cast<double>(kBatch);
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  SetPmCounters(state, pm::Stats() - before, items);
+}
+BENCHMARK(BM_TreeSearchBatch);
 
 void BM_TreeScan100(benchmark::State& state) {
   pm::SetConfig(pm::Config{});
@@ -153,4 +235,108 @@ void BM_TreeScan100(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeScan100);
 
+// --- reporting ---------------------------------------------------------------
+
+struct RunRecord {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_ns_per_iter = 0.0;
+  double items_per_second = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Tees to the normal console output while capturing every non-aggregate
+/// run for the JSON emitter and the stall gate.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      RunRecord rec;
+      rec.name = r.benchmark_name();
+      rec.iterations = r.iterations;
+      rec.real_ns_per_iter =
+          r.GetAdjustedRealTime();  // default time unit: nanoseconds
+      for (const auto& [cname, counter] : r.counters) {
+        if (cname == "items_per_second") rec.items_per_second = counter.value;
+        rec.counters.emplace_back(cname, counter.value);
+      }
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<RunRecord> records;
+};
+
+double CounterOf(const RunRecord& r, const std::string& name) {
+  for (const auto& [n, v] : r.counters) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<RunRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "micro_ops: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"micro_ops\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"name\": \"" << r.name << "\", \"iterations\": "
+        << r.iterations << ", \"real_ns_per_iter\": " << r.real_ns_per_iter;
+    for (const auto& [cname, value] : r.counters) {
+      out << ", \"" << cname << "\": " << value;
+    }
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  // Strip --json=<path> before google-benchmark sees (and rejects) it.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  benchmark::Initialize(&out_argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(out_argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty() && !WriteJson(json_path, reporter.records)) return 1;
+
+  // Deterministic pipeline gate (counter ratio, never wall time): the
+  // batched search must pay at least 2x fewer serialized read stalls per
+  // op than the scalar one (it groups kBatchGroup leaf fetches per stall).
+  const RunRecord* scalar = nullptr;
+  const RunRecord* batched = nullptr;
+  for (const auto& r : reporter.records) {
+    if (r.name == "BM_TreeSearch") scalar = &r;
+    if (r.name == "BM_TreeSearchBatch") batched = &r;
+  }
+  if (scalar != nullptr && batched != nullptr) {
+    const double s = CounterOf(*scalar, "read_stalls_per_op");
+    const double b = CounterOf(*batched, "read_stalls_per_op");
+    if (b * 2.0 > s) {
+      std::fprintf(stderr,
+                   "GATE FAIL micro_ops: batched read stalls/op %.3f not "
+                   ">=2x below scalar %.3f\n",
+                   b, s);
+      return 1;
+    }
+  }
+  return 0;
+}

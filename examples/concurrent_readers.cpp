@@ -56,10 +56,21 @@ Result RunPhase(core::ConcurrencyMode mode, int readers, int seconds) {
     rthreads.emplace_back([&, r] {
       Rng rng(100 + r);
       std::uint64_t local = 0, local_miss = 0;
+      // Anchor verification is order-independent, so it rides the batched
+      // pipeline (SearchBatch, DESIGN.md §8): interleaved lock-free
+      // descents racing the restructuring writer, 64 lookups per call.
+      constexpr std::size_t kBatch = 64;
+      Key batch[kBatch];
+      Value vals[kBatch];
       while (!stop.load(std::memory_order_acquire)) {
-        const Key a = anchors[rng.NextBounded(anchors.size())];
-        if (tree.Search(a) != a + 7) ++local_miss;
-        ++local;
+        for (std::size_t j = 0; j < kBatch; ++j) {
+          batch[j] = anchors[rng.NextBounded(anchors.size())];
+        }
+        tree.SearchBatch(batch, kBatch, vals);
+        for (std::size_t j = 0; j < kBatch; ++j) {
+          if (vals[j] != batch[j] + 7) ++local_miss;
+        }
+        local += kBatch;
       }
       reads.fetch_add(local);
       misses.fetch_add(local_miss);

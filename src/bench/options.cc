@@ -88,6 +88,16 @@ Options ParseOptions(int argc, char** argv) {
         std::fprintf(stderr, "--maint-interval-us must be a positive int\n");
         std::exit(2);
       }
+    } else if (const char* v = val("--batch=")) {
+      char* end = nullptr;
+      o.batch = std::strtoull(v, &end, 10);
+      // strtoull silently wraps a leading '-'; reject it explicitly.
+      if (end == v || *end != '\0' || *v == '-') {
+        std::fprintf(stderr, "--batch must be a non-negative int\n");
+        std::exit(2);
+      }
+    } else if (a == "--wc") {
+      o.wc = true;
     } else if (a == "--csv") {
       o.csv = true;
     } else if (a == "--help" || a == "-h") {
@@ -95,7 +105,7 @@ Options ParseOptions(int argc, char** argv) {
           "options: --scale=ci|small|paper --n=N --threads=1,2,4 "
           "--shards=S --sharding=range|hash|adaptive --skew=THETA "
           "--churn=R --maintenance --rebalance-threshold=R "
-          "--maint-interval-us=N --csv --seed=S\n");
+          "--maint-interval-us=N --batch=N --wc --csv --seed=S\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());

@@ -29,6 +29,12 @@
 //                            maintenance benches check
 //   --maint-interval-us=<us> scheduler sleep after an idle maintenance
 //                            cycle (default 1000)
+//   --batch=<N>              operate in batches of N through the batched
+//                            index entry points (SearchBatch/InsertBatch,
+//                            DESIGN.md §8); 0 (default) = scalar ops
+//   --wc                     write-combining flush scopes: run measured
+//                            phases under Persistency::kRelaxed with
+//                            Config::coalesce_flushes (DESIGN.md §8.2)
 //   --csv                    machine-readable output
 //   --seed=<u64>             workload seed
 
@@ -53,6 +59,8 @@ struct Options {
   bool maintenance = false;      // --maintenance: background tier on
   double rebalance_threshold = 1.2;     // --rebalance-threshold=R
   std::uint64_t maint_interval_us = 1000;  // --maint-interval-us=N
+  std::size_t batch = 0;  // --batch=N; 0 = scalar operations
+  bool wc = false;        // --wc: relaxed persistency + flush coalescing
   bool csv = false;
   std::uint64_t seed = 20180213;  // FAST'18 opening day
 

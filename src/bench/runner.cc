@@ -1,14 +1,41 @@
 #include "bench/runner.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
 #include "bench/stats.h"
 
 namespace fastfair::bench {
 
-void LoadIndex(Index* idx, const std::vector<Key>& keys) {
-  for (const Key k : keys) idx->Insert(k, ValueFor(k));
+void LoadIndex(Index* idx, const std::vector<Key>& keys, std::size_t batch) {
+  if (batch <= 1) {
+    for (const Key k : keys) idx->Insert(k, ValueFor(k));
+    return;
+  }
+  std::vector<core::Record> buf(batch);
+  for (std::size_t i = 0; i < keys.size(); i += batch) {
+    const std::size_t n = std::min(batch, keys.size() - i);
+    for (std::size_t j = 0; j < n; ++j) {
+      buf[j].key = keys[i + j];
+      buf[j].ptr = ValueFor(keys[i + j]);
+    }
+    idx->InsertBatch(buf.data(), n);
+  }
+}
+
+void VerifyIndex(const Index* idx, const std::vector<Key>& keys,
+                 std::size_t batch) {
+  if (batch == 0) batch = 1024;
+  std::vector<Value> vals(batch);
+  for (std::size_t i = 0; i < keys.size(); i += batch) {
+    const std::size_t n = std::min(batch, keys.size() - i);
+    idx->SearchBatch(keys.data() + i, n, vals.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      if (vals[j] != ValueFor(keys[i + j])) std::abort();
+    }
+  }
 }
 
 std::uint64_t RunThreads(

@@ -13,7 +13,17 @@
 namespace fastfair::bench {
 
 /// Bulk-loads `keys` into `idx`, single-threaded (value = ValueFor(key)).
-void LoadIndex(Index* idx, const std::vector<Key>& keys);
+/// `batch` > 0 loads through InsertBatch in chunks of that size (the
+/// batched pipeline, DESIGN.md §8); 0 inserts one key at a time.
+void LoadIndex(Index* idx, const std::vector<Key>& keys,
+               std::size_t batch = 0);
+
+/// Verifies every key is present (value checks via ValueFor), aborting on
+/// a miss — the benches' post-load sanity phase. Order-independent, so it
+/// always runs through SearchBatch (`batch` <= 1 still groups internally;
+/// it only sizes the application-side chunks).
+void VerifyIndex(const Index* idx, const std::vector<Key>& keys,
+                 std::size_t batch = 1024);
 
 /// Value convention used by LoadIndex and all benches: 2k+1 is non-zero and
 /// injective mod 2^64, so no two keys ever carry equal values — required by

@@ -110,6 +110,25 @@ class BTreeT {
   /// Point lookup; kNoValue if absent. Non-blocking in kLockFree mode.
   Value Search(Key key) const;
 
+  /// Descent group size for the batched pipeline (DESIGN.md §8.1): small
+  /// enough that G leaf prefetches fit typical line-fill-buffer MLP, large
+  /// enough to hide one emulated PM read stall behind seven peers.
+  static constexpr std::size_t kBatchGroup = 8;
+
+  /// Batched point lookups: out[i] = Search(keys[i]) for every i, same
+  /// per-key semantics and thread-safety as Search. Keys need not be
+  /// sorted or distinct. Descents run interleaved in groups of
+  /// kBatchGroup with each child prefetched one level ahead, so the
+  /// emulated serial PM read stall is paid once per group of leaves
+  /// instead of once per key (pm::AnnotateReadGroup).
+  void SearchBatch(const Key* keys, std::size_t n, Value* out) const;
+
+  /// Batched upserts: equivalent to Insert(ops[i].key, ops[i].ptr) in
+  /// order (duplicate keys within the batch resolve to the last
+  /// occurrence). Descents pipeline exactly like SearchBatch; the leaf
+  /// writes themselves run one at a time under the usual leaf locks.
+  void InsertBatch(const Record* ops, std::size_t n);
+
   /// Collects up to `max_results` records with key >= min_key in ascending
   /// order. Returns the number written.
   std::size_t Scan(Key min_key, std::size_t max_results, Record* out) const;
@@ -176,8 +195,40 @@ class BTreeT {
   /// Pool::SetAllocHook (see crashsim::SimMem::InterceptPool).
   NodeT* AllocNode(std::uint16_t level);
 
+  /// In-node search dispatch, resolved once at construction from
+  /// Options::search instead of branching on opts_.search per node visit
+  /// (the hot-path hoist): leaf probe and internal child selection.
+  using LeafSearchFn = Value (*)(RealMem&, const NodeT*, Key);
+  using ChildSearchFn = std::uint64_t (*)(RealMem&, const NodeT*, Key);
+  void InitSearchDispatch();
+
+  /// Touches the lines a descent reads first (header + leading records) so
+  /// the fetch overlaps work on the other descents of a batch group.
+  static void PrefetchNode(const NodeT* n) {
+    const char* p = reinterpret_cast<const char*>(n);
+    __builtin_prefetch(p, 0, 3);
+    __builtin_prefetch(p + kCacheLineSize, 0, 3);
+    if constexpr (sizeof(NodeT) > 2 * kCacheLineSize) {
+      __builtin_prefetch(p + 2 * kCacheLineSize, 0, 3);
+    }
+  }
+
   /// Lock-free descent to the leaf whose range covers `key`.
   NodeT* FindLeaf(Key key) const;
+
+  /// Interleaved lock-free descent of `g` keys (g <= kBatchGroup) to their
+  /// covering leaves: one wave per level, each slot's child prefetched a
+  /// full level before it is searched, leaf arrivals charged as one
+  /// grouped read stall per wave (pm::AnnotateReadGroup).
+  void DescendGroup(const Key* keys, std::size_t g, NodeT** leaves) const;
+
+  /// Search tail: probes `n` (a leaf from FindLeaf/DescendGroup) and
+  /// follows the sibling chain while the key may live right of it.
+  Value SearchInLeaf(NodeT* n, Key key) const;
+
+  /// Insert tail: locks the covering leaf starting from hint `leaf`
+  /// (re-descending if the hint died) and performs the upsert/split.
+  void InsertFrom(NodeT* leaf, Key key, Value value);
 
   /// Locks `n`, hopping right while the key belongs to a sibling. On a hop
   /// triggered at leaf level, lazily completes a possibly-crashed split by
@@ -251,6 +302,8 @@ class BTreeT {
   pm::Pool* pool_;
   TreeMeta* meta_;
   Options opts_;
+  LeafSearchFn leaf_search_;    // set by InitSearchDispatch()
+  ChildSearchFn child_search_;  // set by InitSearchDispatch()
   // kLogging mode: persistent undo area (image + active flag), allocated at
   // construction so split-time allocation isn't part of the logging cost.
   struct SplitLog {

@@ -56,8 +56,16 @@ inline void UnlinkDeadSibling(Mem& m, NodeT* left, NodeT* s) {
 }  // namespace detail
 
 template <std::size_t P>
+void BTreeT<P>::InitSearchDispatch() {
+  const bool binary = opts_.search == SearchMode::kBinary;
+  leaf_search_ = binary ? &Ops::BinarySearchLeaf : &Ops::SearchLeaf;
+  child_search_ = binary ? &Ops::BinarySearchInternal : &Ops::SearchInternal;
+}
+
+template <std::size_t P>
 BTreeT<P>::BTreeT(pm::Pool* pool, const Options& opts)
     : pool_(pool), opts_(opts) {
+  InitSearchDispatch();
   meta_ =
       static_cast<TreeMeta*>(pool->Alloc(sizeof(TreeMeta), kCacheLineSize));
   NodeT* root = AllocNode(0);
@@ -80,6 +88,7 @@ BTreeT<P>::BTreeT(pm::Pool* pool, const Options& opts)
 template <std::size_t P>
 BTreeT<P>::BTreeT(pm::Pool* pool, TreeMeta* meta, const Options& opts)
     : pool_(pool), meta_(meta), opts_(opts) {
+  InitSearchDispatch();
   if (meta_->magic != kTreeMagic || meta_->page_size != P) {
     throw std::runtime_error("BTreeT: meta does not match this tree type");
   }
@@ -130,13 +139,51 @@ typename BTreeT<P>::NodeT* BTreeT<P>::FindLeaf(Key key) const {
     while (Ops::ShouldMoveRight(m, n, key, detail::ResolveNode<NodeT>)) {
       n = AsNode(Ops::LoadSibling(m, n));
     }
-    const std::uint64_t child = opts_.search == SearchMode::kBinary
-                                    ? Ops::BinarySearchInternal(m, n, key)
-                                    : Ops::SearchInternal(m, n, key);
-    n = AsNode(child);
+    n = AsNode(child_search_(m, n, key));
+    // Hand-over-hand prefetch: the child's leading lines start fetching
+    // before the (emulated) read stall below and the next level's search.
+    PrefetchNode(n);
     if (n->is_leaf()) pm::AnnotateRead(n);
   }
   return n;
+}
+
+template <std::size_t P>
+void BTreeT<P>::DescendGroup(const Key* keys, std::size_t g,
+                             NodeT** leaves) const {
+  RealMem m;
+  NodeT* root = Root();
+  if (root->is_leaf()) {
+    for (std::size_t j = 0; j < g; ++j) leaves[j] = root;
+    pm::AnnotateReadGroup(g);
+    return;
+  }
+  NodeT* cur[kBatchGroup];
+  for (std::size_t j = 0; j < g; ++j) cur[j] = root;
+  // One wave advances every pending descent one level: while slot j's
+  // child search runs, the children prefetched for slots j+1..g-1 (and
+  // next wave's for 0..j) are in flight, so the per-level PM fetches of
+  // the whole group overlap instead of serializing. The leaf arrivals of
+  // a wave are charged as ONE grouped read stall — their addresses were
+  // all known (and prefetched) before any was dereferenced.
+  std::size_t pending = g;
+  while (pending > 0) {
+    std::size_t arrived = 0;
+    for (std::size_t j = 0; j < g; ++j) {
+      NodeT* n = cur[j];
+      if (n->is_leaf()) continue;
+      while (Ops::ShouldMoveRight(m, n, keys[j], detail::ResolveNode<NodeT>)) {
+        n = AsNode(Ops::LoadSibling(m, n));
+      }
+      NodeT* child = AsNode(child_search_(m, n, keys[j]));
+      PrefetchNode(child);
+      cur[j] = child;
+      if (child->is_leaf()) ++arrived;
+    }
+    pm::AnnotateReadGroup(arrived);
+    pending -= arrived;
+  }
+  for (std::size_t j = 0; j < g; ++j) leaves[j] = cur[j];
 }
 
 template <std::size_t P>
@@ -177,14 +224,19 @@ typename BTreeT<P>::NodeT* BTreeT<P>::LockCovering(NodeT* n, Key key) {
 // --- point operations -----------------------------------------------------------
 
 template <std::size_t P>
-void BTreeT<P>::Insert(Key key, Value value) {
-  assert(value != kNoValue && "kNoValue (0) is reserved");
-  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);  // pins reclaimed nodes
+void BTreeT<P>::InsertFrom(NodeT* leaf, Key key, Value value) {
+  // Per-operation write-combining scope (DESIGN.md §8.2): a no-op unless
+  // the global config opted into relaxed-persistency flush coalescing;
+  // then every flush this operation issues — shifts, split copies, parent
+  // updates — dedupes per line and drains once at return.
+  pm::FlushScope wc;
   RealMem m;
   for (;;) {
-    NodeT* leaf = FindLeaf(key);
     leaf = LockCovering(leaf, key);
-    if (leaf == nullptr) continue;  // hit a dead node; parent repaired
+    if (leaf == nullptr) {  // hit a dead node; parent repaired — re-descend
+      leaf = FindLeaf(key);
+      continue;
+    }
     Ops::FixNode(m, leaf, detail::ResolveNode<NodeT>);
     if (opts_.reclaim_empty_leaves) TryUnlinkEmptySibling(leaf, key);
     if (Ops::UpdateKey(m, leaf, key, value)) {  // upsert: 8-byte in-place
@@ -202,8 +254,35 @@ void BTreeT<P>::Insert(Key key, Value value) {
 }
 
 template <std::size_t P>
+void BTreeT<P>::Insert(Key key, Value value) {
+  assert(value != kNoValue && "kNoValue (0) is reserved");
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);  // pins reclaimed nodes
+  InsertFrom(FindLeaf(key), key, value);
+}
+
+template <std::size_t P>
+void BTreeT<P>::InsertBatch(const Record* ops, std::size_t n) {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
+  Key keys[kBatchGroup];
+  NodeT* leaves[kBatchGroup];
+  for (std::size_t i = 0; i < n; i += kBatchGroup) {
+    const std::size_t g = std::min(kBatchGroup, n - i);
+    for (std::size_t j = 0; j < g; ++j) keys[j] = ops[i + j].key;
+    DescendGroup(keys, g, leaves);
+    // The writes run in batch order, one leaf lock at a time: an earlier
+    // slot's split/unlink may stale a later slot's leaf hint, which
+    // InsertFrom absorbs (move-right, or re-descend on a dead node).
+    for (std::size_t j = 0; j < g; ++j) {
+      assert(ops[i + j].ptr != kNoValue && "kNoValue (0) is reserved");
+      InsertFrom(leaves[j], keys[j], ops[i + j].ptr);
+    }
+  }
+}
+
+template <std::size_t P>
 bool BTreeT<P>::Remove(Key key) {
   detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
+  pm::FlushScope wc;  // same per-operation coalescing contract as InsertFrom
   RealMem m;
   for (;;) {
     NodeT* leaf = FindLeaf(key);
@@ -218,20 +297,16 @@ bool BTreeT<P>::Remove(Key key) {
 }
 
 template <std::size_t P>
-Value BTreeT<P>::Search(Key key) const {
-  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
+Value BTreeT<P>::SearchInLeaf(NodeT* n, Key key) const {
   RealMem m;
-  NodeT* n = FindLeaf(key);
   for (;;) {
     Value v;
     if (opts_.concurrency == ConcurrencyMode::kLeafLock) {
       n->hdr.lock.lock_shared();
-      v = opts_.search == SearchMode::kBinary ? Ops::BinarySearchLeaf(m, n, key)
-                                              : Ops::SearchLeaf(m, n, key);
+      v = leaf_search_(m, n, key);
       n->hdr.lock.unlock_shared();
     } else {
-      v = opts_.search == SearchMode::kBinary ? Ops::BinarySearchLeaf(m, n, key)
-                                              : Ops::SearchLeaf(m, n, key);
+      v = leaf_search_(m, n, key);
     }
     if (v != kNoValue) return v;
     if (!Ops::ShouldMoveRight(m, n, key, detail::ResolveNode<NodeT>)) {
@@ -239,6 +314,26 @@ Value BTreeT<P>::Search(Key key) const {
     }
     n = AsNode(Ops::LoadSibling(m, n));
     pm::AnnotateRead(n);
+  }
+}
+
+template <std::size_t P>
+Value BTreeT<P>::Search(Key key) const {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
+  return SearchInLeaf(FindLeaf(key), key);
+}
+
+template <std::size_t P>
+void BTreeT<P>::SearchBatch(const Key* keys, std::size_t n,
+                            Value* out) const {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
+  NodeT* leaves[kBatchGroup];
+  for (std::size_t i = 0; i < n; i += kBatchGroup) {
+    const std::size_t g = std::min(kBatchGroup, n - i);
+    DescendGroup(keys + i, g, leaves);
+    for (std::size_t j = 0; j < g; ++j) {
+      out[i + j] = SearchInLeaf(leaves[j], keys[i + j]);
+    }
   }
 }
 
@@ -306,7 +401,7 @@ void BTreeT<P>::InsertInternal(Key sep, NodeT* right, std::uint16_t level) {
       while (Ops::ShouldMoveRight(m, n, sep, detail::ResolveNode<NodeT>)) {
         n = AsNode(Ops::LoadSibling(m, n));
       }
-      n = AsNode(Ops::SearchInternal(m, n, sep));
+      n = AsNode(child_search_(m, n, sep));
     }
     n = LockCovering(n, sep);
     if (n == nullptr) continue;  // hopped into a dead node; retry from root
@@ -625,7 +720,7 @@ void BTreeT<P>::RepairDeadRoutes(std::uint16_t level, Key lo, Key hi) {
     while (Ops::ShouldMoveRight(m, p, lo, detail::ResolveNode<NodeT>)) {
       p = AsNode(Ops::LoadSibling(m, p));
     }
-    p = AsNode(Ops::SearchInternal(m, p, lo));
+    p = AsNode(child_search_(m, p, lo));
   }
   p = LockCovering(p, lo);
   if (p == nullptr) return;  // covering node itself dead: repaired, caller

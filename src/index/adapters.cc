@@ -28,6 +28,24 @@ class Wrap final : public Index {
   void Insert(Key key, Value value) override { impl_.Insert(key, value); }
   bool Remove(Key key) override { return impl_.Remove(key); }
   Value Search(Key key) const override { return impl_.Search(key); }
+  void SearchBatch(const Key* keys, std::size_t n,
+                   Value* out) const override {
+    // Forward to the structure's pipelined batch entry point when it has
+    // one (the core tree's interleaved descents); baselines keep the
+    // default per-key loop.
+    if constexpr (requires { impl_.SearchBatch(keys, n, out); }) {
+      impl_.SearchBatch(keys, n, out);
+    } else {
+      Index::SearchBatch(keys, n, out);
+    }
+  }
+  void InsertBatch(const core::Record* ops, std::size_t n) override {
+    if constexpr (requires { impl_.InsertBatch(ops, n); }) {
+      impl_.InsertBatch(ops, n);
+    } else {
+      Index::InsertBatch(ops, n);
+    }
+  }
   std::size_t Scan(Key min_key, std::size_t max_results,
                    core::Record* out) const override {
     return impl_.Scan(min_key, max_results, out);
@@ -168,6 +186,14 @@ std::vector<std::string> AllIndexKinds() {
 void Index::CollectMaintenanceTasks(
     const maint::TaskOptions& /*opts*/,
     std::vector<std::unique_ptr<maint::MaintenanceTask>>* /*out*/) {}
+
+void Index::SearchBatch(const Key* keys, std::size_t n, Value* out) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = Search(keys[i]);
+}
+
+void Index::InsertBatch(const core::Record* ops, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) Insert(ops[i].key, ops[i].ptr);
+}
 
 std::size_t Index::CountEntries() const {
   // Batched full scan; correct for any implementation whose Scan returns

@@ -28,6 +28,29 @@ Value HashShardedIndex::Search(Key key) const {
   return shards_[ShardOf(key)]->Search(key);
 }
 
+void HashShardedIndex::SearchBatch(const Key* keys, std::size_t n,
+                                   Value* out) const {
+  if (n == 0) return;
+  std::vector<Value> vals;
+  detail::DispatchBatchByShard(
+      keys, n, shards_.size(), [this](Key k) { return ShardOf(k); },
+      [&](std::size_t s, const Key* gk, std::size_t len,
+          const std::uint32_t* pos) {
+        vals.resize(len);
+        shards_[s]->SearchBatch(gk, len, vals.data());
+        for (std::size_t j = 0; j < len; ++j) out[pos[j]] = vals[j];
+      });
+}
+
+void HashShardedIndex::InsertBatch(const core::Record* ops, std::size_t n) {
+  if (n == 0) return;
+  detail::DispatchBatchByShard(
+      ops, n, shards_.size(),
+      [this](const core::Record& r) { return ShardOf(r.key); },
+      [&](std::size_t s, const core::Record* gops, std::size_t len,
+          const std::uint32_t*) { shards_[s]->InsertBatch(gops, len); });
+}
+
 namespace {
 
 // Bounded k-way merge: one streaming iterator per shard plus an N-entry

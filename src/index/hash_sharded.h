@@ -45,6 +45,13 @@ class HashShardedIndex final : public Index {
   bool Remove(Key key) override;
   Value Search(Key key) const override;
 
+  /// Native batch overrides (DESIGN.md §8.3): one hash-routing pass
+  /// buckets the batch, each shard gets its sub-batch in original order
+  /// (the inner kind's pipelined batch runs per shard), results scatter
+  /// back to the caller's positions.
+  void SearchBatch(const Key* keys, std::size_t n, Value* out) const override;
+  void InsertBatch(const core::Record* ops, std::size_t n) override;
+
   /// Bounded k-way merge across the per-shard scans: globally sorted, same
   /// result as any other kind's Scan (hash routing never duplicates a key
   /// across shards).

@@ -69,6 +69,20 @@ class Index {
   /// kNoValue if absent.
   virtual Value Search(Key key) const = 0;
 
+  /// Batched point lookups: out[i] = Search(keys[i]) for every i (keys
+  /// need not be sorted or distinct). The default is a plain loop
+  /// (adapters.cc) so every kind accepts batches; kinds with a native
+  /// pipeline override it — the core tree interleaves prefetching
+  /// descents (core/btree.h), the sharded adapters partition the batch
+  /// per shard with one route/pin per shard group (DESIGN.md §8.3).
+  virtual void SearchBatch(const Key* keys, std::size_t n, Value* out) const;
+
+  /// Batched upserts, equivalent to Insert(ops[i].key, ops[i].ptr) in
+  /// order; duplicate keys within the batch resolve to the last
+  /// occurrence. Same default-loop / native-override contract as
+  /// SearchBatch.
+  virtual void InsertBatch(const core::Record* ops, std::size_t n);
+
   /// Up to `max_results` entries with key >= min_key, ascending. Returns
   /// the count written to `out`.
   virtual std::size_t Scan(Key min_key, std::size_t max_results,

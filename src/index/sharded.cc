@@ -70,6 +70,19 @@ std::vector<std::size_t> PerShardEntryCounts(
   return out;
 }
 
+void BucketByShard(const std::uint32_t* shard_ids, std::size_t n,
+                   std::size_t num_shards, std::vector<std::uint32_t>* order,
+                   std::vector<std::size_t>* start) {
+  start->assign(num_shards + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) (*start)[shard_ids[i] + 1] += 1;
+  for (std::size_t s = 0; s < num_shards; ++s) (*start)[s + 1] += (*start)[s];
+  order->resize(n);
+  std::vector<std::size_t> cur(start->begin(), start->end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*order)[cur[shard_ids[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
 }  // namespace detail
 
 std::size_t TryParseShardedKind(std::string_view kind,
@@ -125,11 +138,15 @@ ShardedIndex::ShardedIndex(std::string name, std::vector<Key> boundaries,
   BuildShards(bounds_[0].size() + 1, make);
 }
 
-void ShardedIndex::NoteOp(std::size_t shard) const {
+void ShardedIndex::NoteOps(std::size_t shard, std::uint64_t k) const {
+  if (k == 0) return;
   const std::uint64_t ops =
-      counters_[shard].ops.fetch_add(1, std::memory_order_relaxed) + 1;
+      counters_[shard].ops.fetch_add(k, std::memory_order_relaxed) + k;
   const std::size_t every = sample_interval_.load(std::memory_order_relaxed);
-  if (every != 0 && ops % every == 0) SampleHistogram();
+  // Sample when the add crossed an interval boundary (k == 1 reduces to
+  // the old `ops % every == 0`; a batch add crossing several boundaries
+  // still samples once — the snapshot is a rate limiter, not a count).
+  if (every != 0 && ops / every != (ops - k) / every) SampleHistogram();
 }
 
 void ShardedIndex::SampleHistogram() const {
@@ -202,6 +219,38 @@ std::size_t ShardedIndex::CountEntries() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->CountEntries();
   return total;
+}
+
+void ShardedIndex::SearchBatch(const Key* keys, std::size_t n,
+                               Value* out) const {
+  if (n == 0) return;
+  // One pin covers routing *and* lookups for the whole batch (the scalar
+  // path pins per key): Rebalance's publish waits out this single guard,
+  // so every key routed under the old boundaries still finds its copy.
+  pm::EpochGuard guard;
+  std::vector<Value> vals;
+  detail::DispatchBatchByShard(
+      keys, n, shards_.size(), [this](Key k) { return ShardOf(k); },
+      [&](std::size_t s, const Key* gk, std::size_t len,
+          const std::uint32_t* pos) {
+        vals.resize(len);
+        shards_[s]->SearchBatch(gk, len, vals.data());
+        for (std::size_t j = 0; j < len; ++j) out[pos[j]] = vals[j];
+      });
+}
+
+void ShardedIndex::InsertBatch(const core::Record* ops, std::size_t n) {
+  if (n == 0) return;
+  detail::DispatchBatchByShard(
+      ops, n, shards_.size(),
+      [this](const core::Record& r) { return ShardOf(r.key); },
+      [&](std::size_t s, const core::Record* gops, std::size_t len,
+          const std::uint32_t*) {
+        shards_[s]->InsertBatch(gops, len);
+        counters_[s].entries.fetch_add(static_cast<std::int64_t>(len),
+                                       std::memory_order_relaxed);
+        NoteOps(s, len);
+      });
 }
 
 namespace {

@@ -78,6 +78,41 @@ bool BuildShardVector(
 /// helpers; under writers the per-shard sums are relaxed snapshots).
 std::vector<std::size_t> PerShardEntryCounts(
     const std::vector<std::unique_ptr<Index>>& shards);
+
+/// Stable counting-sort bucketing shared by both adapters' batch paths:
+/// given per-element shard ids, fills `order` with the element indexes
+/// grouped by shard (original order preserved within each shard) and
+/// `start` with per-shard offsets into it (size num_shards + 1).
+void BucketByShard(const std::uint32_t* shard_ids, std::size_t n,
+                   std::size_t num_shards, std::vector<std::uint32_t>* order,
+                   std::vector<std::size_t>* start);
+
+/// The shared batch driver behind all four sharded batch entry points:
+/// routes every element with `shard_of`, stable-buckets the batch
+/// (BucketByShard), gathers each shard's elements contiguously (original
+/// order preserved, so duplicate-key upsert semantics survive), and hands
+/// each non-empty group to `dispatch(shard, elems, len, positions)` —
+/// `positions` being the group's original batch indexes, for scattering
+/// per-element results back to the caller's slots.
+template <class Elem, class ShardOfFn, class DispatchFn>
+void DispatchBatchByShard(const Elem* elems, std::size_t n,
+                          std::size_t num_shards, ShardOfFn&& shard_of,
+                          DispatchFn&& dispatch) {
+  std::vector<std::uint32_t> shard_ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_ids[i] = static_cast<std::uint32_t>(shard_of(elems[i]));
+  }
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> start;
+  BucketByShard(shard_ids.data(), n, num_shards, &order, &start);
+  std::vector<Elem> gathered(n);
+  for (std::size_t p = 0; p < n; ++p) gathered[p] = elems[order[p]];
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t len = start[s + 1] - start[s];
+    if (len == 0) continue;
+    dispatch(s, gathered.data() + start[s], len, order.data() + start[s]);
+  }
+}
 }  // namespace detail
 
 /// max/min over per-shard entry counts, the imbalance metric the skew
@@ -109,6 +144,15 @@ class ShardedIndex final : public Index {
   Value Search(Key key) const override;
   std::size_t Scan(Key min_key, std::size_t max_results,
                    core::Record* out) const override;
+
+  /// Native batch overrides (DESIGN.md §8.3): the batch is partitioned by
+  /// shard in one routing pass under a single epoch pin (scalar ops pin
+  /// per key), then each shard receives its sub-batch in original order —
+  /// one virtual call, one counter update, one histogram check per shard
+  /// group instead of one per key — and results scatter back to the
+  /// caller's positions.
+  void SearchBatch(const Key* keys, std::size_t n, Value* out) const override;
+  void InsertBatch(const core::Record* ops, std::size_t n) override;
 
   /// Sums the per-shard counts shard by shard, *non-atomically* with
   /// respect to concurrent writers: an insert or remove that lands in a
@@ -226,7 +270,10 @@ class ShardedIndex final : public Index {
   };
 
   void BuildShards(std::size_t num_shards, const ShardFactory& make);
-  void NoteOp(std::size_t shard) const;
+  void NoteOp(std::size_t shard) const { NoteOps(shard, 1); }
+  /// Bulk form: one counter add for a batch's whole shard group; samples
+  /// the histogram when the add crosses a sampling-interval boundary.
+  void NoteOps(std::size_t shard, std::uint64_t k) const;
   void SampleHistogram() const;
 
   std::vector<std::unique_ptr<Index>> shards_;

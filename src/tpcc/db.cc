@@ -37,6 +37,38 @@ std::unique_ptr<Index> MakeTable(std::string_view kind, pm::Pool* pool,
       [pool, inner](std::size_t) { return MakeIndex(inner, pool); });
 }
 
+// Buffers (key, row) pairs and forwards them through InsertBatch in chunks
+// of `cap` — the batched population path for the bulk tables. cap <= 1
+// degenerates to scalar inserts; the destructor flushes the tail.
+class Batcher {
+ public:
+  Batcher(Index* idx, std::size_t cap) : idx_(idx), cap_(cap) {
+    if (cap_ > 1) buf_.reserve(cap_);
+  }
+  ~Batcher() { Flush(); }
+
+  void Add(Key key, Value value) {
+    if (cap_ <= 1) {
+      idx_->Insert(key, value);
+      return;
+    }
+    buf_.push_back({key, value});
+    if (buf_.size() == cap_) Flush();
+  }
+
+  void Flush() {
+    if (!buf_.empty()) {
+      idx_->InsertBatch(buf_.data(), buf_.size());
+      buf_.clear();
+    }
+  }
+
+ private:
+  Index* idx_;
+  std::size_t cap_;
+  std::vector<core::Record> buf_;
+};
+
 }  // namespace
 
 Db::~Db() { StopMaintenance(); }
@@ -95,24 +127,32 @@ Db::Db(std::string_view kind, const Config& cfg, pm::Pool* pool)
 
 void Db::Populate() {
   Rng rng(0xc0ffee);
+  // The bulk tables batch through the pipelined InsertBatch path when
+  // Config::populate_batch says so; each row is still persisted (NewRow)
+  // before its index entry ever becomes visible, batched or not.
+  Batcher item_b(item_.get(), cfg_.populate_batch);
+  Batcher stock_b(stock_.get(), cfg_.populate_batch);
+  Batcher orderline_b(orderline_.get(), cfg_.populate_batch);
   for (std::uint32_t i = 0; i < cfg_.items; ++i) {
-    item_->Insert(ItemKey(i),
-                  reinterpret_cast<Value>(NewRow<ItemRow>(
-                      {1.0 + static_cast<double>(rng.NextBounded(9900)) /
-                                 100.0})));
+    item_b.Add(ItemKey(i),
+               reinterpret_cast<Value>(NewRow<ItemRow>(
+                   {1.0 + static_cast<double>(rng.NextBounded(9900)) /
+                              100.0})));
   }
+  item_b.Flush();
   for (std::uint32_t w = 0; w < cfg_.warehouses; ++w) {
     warehouse_->Insert(
         WarehouseKey(w),
         reinterpret_cast<Value>(NewRow<WarehouseRow>(
             {static_cast<double>(rng.NextBounded(2000)) / 10000.0, 0.0})));
     for (std::uint32_t i = 0; i < cfg_.items; ++i) {
-      stock_->Insert(StockKey(w, i),
-                     reinterpret_cast<Value>(NewRow<StockRow>(
-                         {static_cast<std::int32_t>(
-                              10 + rng.NextBounded(91)),
-                          0, 0, 0})));
+      stock_b.Add(StockKey(w, i),
+                  reinterpret_cast<Value>(NewRow<StockRow>(
+                      {static_cast<std::int32_t>(
+                           10 + rng.NextBounded(91)),
+                       0, 0, 0})));
     }
+    stock_b.Flush();
     for (std::uint32_t d = 0; d < cfg_.districts_per_wh; ++d) {
       auto* drow = NewRow<DistrictRow>(
           {static_cast<double>(rng.NextBounded(2000)) / 10000.0, 0.0,
@@ -146,7 +186,7 @@ void Db::Populate() {
                                 NewRow<NewOrderRow>({w, d})));
         }
         for (std::uint32_t l = 0; l < ol_cnt; ++l) {
-          orderline_->Insert(
+          orderline_b.Add(
               OrderLineKey(w, d, o, l),
               reinterpret_cast<Value>(NewRow<OrderLineRow>(
                   {static_cast<std::uint32_t>(rng.NextBounded(cfg_.items)),
@@ -156,6 +196,7 @@ void Db::Populate() {
       }
     }
   }
+  orderline_b.Flush();
 }
 
 }  // namespace fastfair::tpcc

@@ -26,6 +26,10 @@ struct Config {
   std::uint32_t customers_per_district = 300;  // spec: 3000; scaled for CI
   std::uint32_t items = 10000;                 // spec: 100000
   std::uint32_t initial_orders_per_district = 300;  // spec: 3000
+  // Population batch size: > 1 loads the bulk tables (ITEM, STOCK,
+  // ORDER-LINE) through Index::InsertBatch in chunks of this size, riding
+  // the batched descent pipeline (DESIGN.md §8); <= 1 inserts row by row.
+  std::size_t populate_batch = 0;
 };
 
 class Db {
