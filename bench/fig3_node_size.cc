@@ -6,6 +6,11 @@
 //
 // Expected shape: insertion degrades with node size (more FAST shifting);
 // binary search only wins at >= 4 KB nodes; linear wins at 512 B / 1 KB.
+//
+// The search_simd column replays the linear-mode run with the vectorized
+// in-node protocol (DESIGN.md §9; the active ISA, or --simd=ISA); the
+// linear and binary columns pin the scalar kernels so they reproduce the
+// paper's setup regardless of the host CPU.
 
 #include <cstdio>
 
@@ -13,6 +18,7 @@
 #include "bench/stats.h"
 #include "bench/table.h"
 #include "bench/workload.h"
+#include "common/simd.h"
 #include "core/btree.h"
 
 namespace {
@@ -25,7 +31,10 @@ struct Result {
 };
 
 template <std::size_t PageSize>
-Result RunOne(const std::vector<Key>& keys, core::SearchMode sm) {
+Result RunOne(const std::vector<Key>& keys, core::SearchMode sm,
+              simd::Isa isa) {
+  // Dispatch is resolved at tree construction, so the force must precede it.
+  simd::ForceIsa(isa);
   pm::Pool pool(std::size_t{3} << 30);
   core::Options opts;
   opts.search = sm;
@@ -54,26 +63,38 @@ int main(int argc, char** argv) {
   const auto keys = bench::UniformKeys(n, opt.seed);
   pm::SetConfig(pm::Config{});  // PM latency == DRAM, per the paper
 
-  std::printf("Figure 3: linear vs binary search, %zu keys\n", n);
+  // --simd already forced an ISA inside ParseOptions; that (or the
+  // FASTFAIR_SIMD-resolved default) is what the simd column runs.
+  const simd::Isa vec_isa = simd::ActiveIsa();
+  std::printf("Figure 3: linear vs binary vs simd(%s) search, %zu keys\n",
+              simd::IsaName(vec_isa), n);
   bench::Table table({"node_size", "insert_linear_us", "insert_binary_us",
-                      "search_linear_us", "search_binary_us"});
-  auto row = [&](const char* label, Result lin, Result bin) {
+                      "search_linear_us", "search_binary_us",
+                      "search_simd_us"});
+  auto row = [&](const char* label, Result lin, Result bin, Result vec) {
     table.AddRow({label, bench::Table::Num(lin.insert_us),
                   bench::Table::Num(bin.insert_us),
                   bench::Table::Num(lin.search_us),
-                  bench::Table::Num(bin.search_us)});
+                  bench::Table::Num(bin.search_us),
+                  bench::Table::Num(vec.search_us)});
   };
   using core::SearchMode;
-  row("256B", RunOne<256>(keys, SearchMode::kLinear),
-      RunOne<256>(keys, SearchMode::kBinary));
-  row("512B", RunOne<512>(keys, SearchMode::kLinear),
-      RunOne<512>(keys, SearchMode::kBinary));
-  row("1KB", RunOne<1024>(keys, SearchMode::kLinear),
-      RunOne<1024>(keys, SearchMode::kBinary));
-  row("2KB", RunOne<2048>(keys, SearchMode::kLinear),
-      RunOne<2048>(keys, SearchMode::kBinary));
-  row("4KB", RunOne<4096>(keys, SearchMode::kLinear),
-      RunOne<4096>(keys, SearchMode::kBinary));
+  using simd::Isa;
+  row("256B", RunOne<256>(keys, SearchMode::kLinear, Isa::kScalar),
+      RunOne<256>(keys, SearchMode::kBinary, Isa::kScalar),
+      RunOne<256>(keys, SearchMode::kLinear, vec_isa));
+  row("512B", RunOne<512>(keys, SearchMode::kLinear, Isa::kScalar),
+      RunOne<512>(keys, SearchMode::kBinary, Isa::kScalar),
+      RunOne<512>(keys, SearchMode::kLinear, vec_isa));
+  row("1KB", RunOne<1024>(keys, SearchMode::kLinear, Isa::kScalar),
+      RunOne<1024>(keys, SearchMode::kBinary, Isa::kScalar),
+      RunOne<1024>(keys, SearchMode::kLinear, vec_isa));
+  row("2KB", RunOne<2048>(keys, SearchMode::kLinear, Isa::kScalar),
+      RunOne<2048>(keys, SearchMode::kBinary, Isa::kScalar),
+      RunOne<2048>(keys, SearchMode::kLinear, vec_isa));
+  row("4KB", RunOne<4096>(keys, SearchMode::kLinear, Isa::kScalar),
+      RunOne<4096>(keys, SearchMode::kBinary, Isa::kScalar),
+      RunOne<4096>(keys, SearchMode::kLinear, vec_isa));
   if (opt.csv) {
     table.PrintCsv();
   } else {

@@ -22,10 +22,13 @@
 #include <vector>
 
 #include "bench/workload.h"
+#include "common/simd.h"
 #include "core/btree.h"
 #include "core/mem_policy.h"
 #include "core/node_ops.h"
+#include "core/node_search_simd.h"
 #include "index/index.h"
+#include "index/sharded.h"
 
 namespace {
 
@@ -102,6 +105,28 @@ void BM_NodeLinearSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_NodeLinearSearch);
 
+// Same node state and probe sequence as BM_NodeLinearSearch, but through
+// the SIMD leaf-search path for a given ISA. Registered once per supported
+// vector ISA (BM_NodeSimdSearch/<isa>) plus a bare BM_NodeSimdSearch row on
+// the best one — the row the 0.6x-vs-linear gate and CI perf-smoke read.
+void BM_NodeSimdSearch(benchmark::State& state, simd::Isa isa) {
+  using Simd = core::SimdNodeOps<NodeT, core::RealMem>;
+  alignas(64) NodeT node;
+  core::RealMem m;
+  pm::SetConfig(pm::Config{});
+  node.Init(0);
+  for (int i = 0; i < NodeT::kCapacity; ++i) {
+    Ops::InsertKey(m, &node, static_cast<Key>(2 * i + 2),
+                   static_cast<Value>(i) + 1);
+  }
+  const auto leaf_fn = Simd::LeafSearchFor(isa);
+  Key k = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leaf_fn(m, &node, k));
+    k = k % (2 * NodeT::kCapacity) + 2;
+  }
+}
+
 void BM_NodeBinarySearch(benchmark::State& state) {
   alignas(64) NodeT node;
   core::RealMem m;
@@ -117,6 +142,28 @@ void BM_NodeBinarySearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NodeBinarySearch);
+
+// Batch shard routing: the stable bucketing pass every sharded batch op
+// runs first. 4096 elements over 8 shards, the default hashed-tier shape.
+// The `simd` variant pins the active ISA for the duration of the run so
+// the scalar row stays honest whatever FASTFAIR_SIMD says.
+void BM_BucketByShard(benchmark::State& state, simd::Isa isa) {
+  const simd::Isa prev = simd::ActiveIsa();
+  simd::ForceIsa(isa);
+  constexpr std::size_t kN = 4096, kShards = 8;
+  std::vector<std::uint32_t> ids(kN);
+  Rng rng(11);
+  for (auto& x : ids) x = static_cast<std::uint32_t>(rng.NextBounded(kShards));
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> start;
+  for (auto _ : state) {
+    detail::BucketByShard(ids.data(), kN, kShards, &order, &start);
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN));
+  simd::ForceIsa(prev);
+}
 
 void BM_PoolAlloc(benchmark::State& state) {
   pm::SetConfig(pm::Config{});
@@ -310,6 +357,23 @@ int main(int argc, char** argv) {
       argv[out_argc++] = argv[i];
     }
   }
+  // Per-ISA rows exist only where the CPU supports the path; the bare
+  // BM_NodeSimdSearch row (best ISA) is what the SIMD/scalar gate reads.
+  benchmark::RegisterBenchmark("BM_NodeSimdSearch", &BM_NodeSimdSearch,
+                               simd::BestSupportedIsa());
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse2,
+                        simd::Isa::kAvx2, simd::Isa::kAvx512,
+                        simd::Isa::kNeon}) {
+    if (!simd::IsaSupported(isa)) continue;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NodeSimdSearch/") + simd::IsaName(isa)).c_str(),
+        &BM_NodeSimdSearch, isa);
+  }
+  benchmark::RegisterBenchmark("BM_BucketByShard/scalar", &BM_BucketByShard,
+                               simd::Isa::kScalar);
+  benchmark::RegisterBenchmark("BM_BucketByShard/simd", &BM_BucketByShard,
+                               simd::BestSupportedIsa());
+
   benchmark::Initialize(&out_argc, argv);
   if (benchmark::ReportUnrecognizedArguments(out_argc, argv)) return 1;
   CaptureReporter reporter;
@@ -335,6 +399,27 @@ int main(int argc, char** argv) {
                    "GATE FAIL micro_ops: batched read stalls/op %.3f not "
                    ">=2x below scalar %.3f\n",
                    b, s);
+      return 1;
+    }
+  }
+
+  // SIMD intra-node search gate (wide-vector machines only: on SSE2-only
+  // or NEON hardware the kernels win less and the gate would be noise):
+  // the vectorized leaf search must run at <= 0.6x the scalar linear scan.
+  if (simd::IsaSupported(simd::Isa::kAvx2) ||
+      simd::IsaSupported(simd::Isa::kAvx512)) {
+    const RunRecord* lin = nullptr;
+    const RunRecord* vec = nullptr;
+    for (const auto& r : reporter.records) {
+      if (r.name == "BM_NodeLinearSearch") lin = &r;
+      if (r.name == "BM_NodeSimdSearch") vec = &r;
+    }
+    if (lin != nullptr && vec != nullptr &&
+        vec->real_ns_per_iter > 0.6 * lin->real_ns_per_iter) {
+      std::fprintf(stderr,
+                   "GATE FAIL micro_ops: SIMD node search %.1f ns/op not "
+                   "<= 0.6x scalar linear %.1f ns/op\n",
+                   vec->real_ns_per_iter, lin->real_ns_per_iter);
       return 1;
     }
   }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstring>
 #include <mutex>
+
+#include "common/simd.h"
 
 namespace fastfair::baselines {
 
@@ -57,11 +60,21 @@ FPTree::Leaf* FPTree::FindLeaf(Key key) const {
 }
 
 int FPTree::FindEntry(const Leaf* l, Key key, std::uint8_t fp) {
-  std::uint64_t bm = l->bitmap;
+  // Vectorized fingerprint filter (common/simd.h, runtime-dispatched): one
+  // wide byte-compare replaces the per-slot fingerprint test, so only true
+  // fingerprint matches pay the key load. The kernel reads a full 64-byte
+  // window over the 48 fingerprints; the assert pins that the window stays
+  // inside the Leaf (it covers lock/pad bytes, masked off by n = 48).
+  static_assert(offsetof(Leaf, fingerprints) + 64 <= sizeof(Leaf),
+                "ByteEqMask window must stay inside the Leaf");
+  std::uint64_t bm =
+      l->bitmap & simd::ByteEqMask(l->fingerprints, kLeafEntries, fp);
   while (bm != 0) {
     const int i = __builtin_ctzll(bm);
     bm &= bm - 1;
-    // Fingerprint filter first: this is the cache-line-saving trick.
+    // Fingerprint re-test + key check: this is the cache-line-saving trick
+    // (and keeps the scalar semantics bit-for-bit under FASTFAIR_SIMD=
+    // scalar, where ByteEqMask is computed byte-at-a-time).
     if (l->fingerprints[i] == fp && l->entries[i].key == key) return i;
   }
   return -1;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/simd.h"
 #include "index/sharded.h"  // kMaxShards
 
 namespace fastfair::bench {
@@ -96,6 +97,18 @@ Options ParseOptions(int argc, char** argv) {
         std::fprintf(stderr, "--batch must be a non-negative int\n");
         std::exit(2);
       }
+    } else if (const char* v = val("--simd=")) {
+      o.simd = v;
+      simd::Isa isa;
+      if (!simd::ParseIsa(o.simd, &isa)) {
+        std::fprintf(stderr,
+                     "--simd must be scalar|sse2|avx2|avx512|neon|auto\n");
+        std::exit(2);
+      }
+      // Pin before any bench touches a dispatcher; unsupported tiers clamp
+      // down exactly like FASTFAIR_SIMD (the flag wins over the env var
+      // because it forces first).
+      simd::ForceIsa(isa);
     } else if (a == "--wc") {
       o.wc = true;
     } else if (a == "--csv") {
@@ -105,7 +118,8 @@ Options ParseOptions(int argc, char** argv) {
           "options: --scale=ci|small|paper --n=N --threads=1,2,4 "
           "--shards=S --sharding=range|hash|adaptive --skew=THETA "
           "--churn=R --maintenance --rebalance-threshold=R "
-          "--maint-interval-us=N --batch=N --wc --csv --seed=S\n");
+          "--maint-interval-us=N --batch=N --wc "
+          "--simd=scalar|sse2|avx2|avx512|neon|auto --csv --seed=S\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());

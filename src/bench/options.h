@@ -35,6 +35,11 @@
 //   --wc                     write-combining flush scopes: run measured
 //                            phases under Persistency::kRelaxed with
 //                            Config::coalesce_flushes (DESIGN.md §8.2)
+//   --simd=ISA               pin the intra-node search kernels to one ISA
+//                            tier (scalar|sse2|avx2|avx512|neon|auto,
+//                            DESIGN.md §9.1); unsupported tiers clamp down,
+//                            same as the FASTFAIR_SIMD env var. Default:
+//                            auto (best supported)
 //   --csv                    machine-readable output
 //   --seed=<u64>             workload seed
 
@@ -61,6 +66,7 @@ struct Options {
   std::uint64_t maint_interval_us = 1000;  // --maint-interval-us=N
   std::size_t batch = 0;  // --batch=N; 0 = scalar operations
   bool wc = false;        // --wc: relaxed persistency + flush coalescing
+  std::string simd = "auto";  // --simd=ISA; pins search kernels (§9.1)
   bool csv = false;
   std::uint64_t seed = 20180213;  // FAST'18 opening day
 

@@ -30,9 +30,11 @@
 #include <vector>
 
 #include "common/defs.h"
+#include "common/simd.h"
 #include "core/mem_policy.h"
 #include "core/node.h"
 #include "core/node_ops.h"
+#include "core/node_search_simd.h"
 #include "pm/persist.h"
 #include "pm/pool.h"
 #include "pm/reclaim.h"
@@ -196,10 +198,15 @@ class BTreeT {
   NodeT* AllocNode(std::uint16_t level);
 
   /// In-node search dispatch, resolved once at construction from
-  /// Options::search instead of branching on opts_.search per node visit
-  /// (the hot-path hoist): leaf probe and internal child selection.
+  /// Options::search and the active SIMD ISA (simd::ActiveIsa) instead of
+  /// branching per node visit (the hot-path hoist): leaf probe, internal
+  /// child selection, and valid-record collection for scans. kLinear
+  /// resolves to the vectorized protocol of core/node_search_simd.h when a
+  /// vector ISA is active (FASTFAIR_SIMD=scalar recovers the paper's scalar
+  /// reference); kBinary stays scalar (single-threaded-only mode).
   using LeafSearchFn = Value (*)(RealMem&, const NodeT*, Key);
   using ChildSearchFn = std::uint64_t (*)(RealMem&, const NodeT*, Key);
+  using CollectFn = int (*)(RealMem&, const NodeT*, Record*);
   void InitSearchDispatch();
 
   /// Touches the lines a descent reads first (header + leading records) so
@@ -304,6 +311,7 @@ class BTreeT {
   Options opts_;
   LeafSearchFn leaf_search_;    // set by InitSearchDispatch()
   ChildSearchFn child_search_;  // set by InitSearchDispatch()
+  CollectFn collect_valid_;     // set by InitSearchDispatch()
   // kLogging mode: persistent undo area (image + active flag), allocated at
   // construction so split-time allocation isn't part of the logging cost.
   struct SplitLog {

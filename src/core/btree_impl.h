@@ -57,9 +57,20 @@ inline void UnlinkDeadSibling(Mem& m, NodeT* left, NodeT* s) {
 
 template <std::size_t P>
 void BTreeT<P>::InitSearchDispatch() {
-  const bool binary = opts_.search == SearchMode::kBinary;
-  leaf_search_ = binary ? &Ops::BinarySearchLeaf : &Ops::SearchLeaf;
-  child_search_ = binary ? &Ops::BinarySearchInternal : &Ops::SearchInternal;
+  using Simd = SimdNodeOps<NodeT, RealMem>;
+  if (opts_.search == SearchMode::kBinary) {
+    leaf_search_ = &Ops::BinarySearchLeaf;
+    child_search_ = &Ops::BinarySearchInternal;
+    collect_valid_ = &Ops::CollectValid;
+    return;
+  }
+  // kLinear: the lock-free protocol, vectorized when a vector ISA is
+  // active. The *For resolvers return the scalar reference for kScalar,
+  // so FASTFAIR_SIMD=scalar is exactly the pre-SIMD tree.
+  const simd::Isa isa = simd::ActiveIsa();
+  leaf_search_ = Simd::LeafSearchFor(isa);
+  child_search_ = Simd::ChildSearchFor(isa);
+  collect_valid_ = Simd::CollectFor(isa);
 }
 
 template <std::size_t P>
@@ -798,7 +809,7 @@ std::size_t BTreeT<P>::ScanRange(Key min_key, Key max_key, Record* out,
   bool have_last = false;
   Record buf[kNodeCapacity];
   while (n != nullptr && got < cap) {
-    const int c = Ops::CollectValid(m, const_cast<NodeT*>(n), buf);
+    const int c = collect_valid_(m, n, buf);
     for (int i = 0; i < c && got < cap; ++i) {
       if (buf[i].key < min_key) continue;
       if (buf[i].key > max_key) return got;
@@ -872,7 +883,7 @@ std::size_t BTreeT<P>::CountEntries() const {
   Key last = 0;
   bool have_last = false;
   while (n != nullptr) {
-    const int c = Ops::CollectValid(m, const_cast<NodeT*>(n), buf);
+    const int c = collect_valid_(m, n, buf);
     for (int i = 0; i < c; ++i) {
       if (have_last && buf[i].key <= last) continue;
       ++total;

@@ -25,6 +25,13 @@
 namespace fastfair::core {
 
 struct RealMem {
+  // Plain (non-policy) vector loads from node memory observe the same bytes
+  // the policy loads do. Crash-sim policies redirect stores into shadow
+  // state, so raw loads there would read the wrong world; the SIMD search
+  // paths (core/node_search_simd.h) key off this flag and fall back to the
+  // scalar reference for any policy that does not set it.
+  static constexpr bool kCoherentRawLoads = true;
+
   static void Store64(void* addr, std::uint64_t value) {
     std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(addr))
         .store(value, std::memory_order_release);

@@ -109,15 +109,28 @@ struct NodeOps {
 
   // --- counting --------------------------------------------------------------
 
+  /// Index of the first potentially-live slot given slot 0's already-loaded
+  /// ptr `p0`: 1 when slot 0 is a transient hole (zero ptr but a live entry
+  /// at 1), else 0. The lock-free scans pass the stabilized p0 they hold so
+  /// no extra slot-0 load (which could race a concurrent commit) happens.
+  static int FirstValidSlot(Mem& m, const N* n, std::uint64_t p0) {
+    return p0 == 0 && kCap >= 1 && LoadPtrAt(m, n, 1) != 0 ? 1 : 0;
+  }
+
+  /// Fresh-load overload for writer-side / quiescent callers.
+  static int FirstValidSlot(Mem& m, const N* n) {
+    return FirstValidSlot(m, n, LoadPtrAt(m, n, 0));
+  }
+
   /// True if slot 0 is a transient hole (zero ptr but a live entry at 1).
   static bool HasHoleAtZero(Mem& m, const N* n) {
-    return LoadPtrAt(m, n, 0) == 0 && kCap >= 1 && LoadPtrAt(m, n, 1) != 0;
+    return FirstValidSlot(m, n) == 1;
   }
 
   /// Number of used slots including any slot-0 hole (i.e. index of the
   /// terminator).  Writer-side usage assumes the node was fixed first.
   static int CountRaw(Mem& m, const N* n) {
-    int i = HasHoleAtZero(m, n) ? 1 : 0;
+    int i = FirstValidSlot(m, n);
     while (i <= kCap && LoadPtrAt(m, n, i) != 0) ++i;
     return i;
   }
@@ -216,7 +229,7 @@ struct NodeOps {
   /// false if the key is absent. Caller holds the write lock.
   static bool UpdateKey(Mem& m, N* n, Key key, Value val) {
     const int cnt = CountRaw(m, n);
-    for (int i = HasHoleAtZero(m, n) ? 1 : 0; i < cnt; ++i) {
+    for (int i = FirstValidSlot(m, n); i < cnt; ++i) {
       if (LoadKeyAt(m, n, i) == key) {
         StorePtrAt(m, n, i, val);
         m.Flush(&n->records[i]);
@@ -344,7 +357,7 @@ struct NodeOps {
             break;
           }
           if (p == 0) {
-            if (i == 0 && LoadPtrAt(m, n, 1) != 0) continue;  // slot-0 hole
+            if (i == 0 && FirstValidSlot(m, n, p) == 1) continue;  // hole
             break;                                            // terminator
           }
           if (p == prev) {  // duplicate ptr: invalid slot
@@ -397,7 +410,7 @@ struct NodeOps {
           break;
         }
         if (p == 0) {
-          if (i == 0 && LoadPtrAt(m, n, 1) != 0) continue;  // hole
+          if (i == 0 && FirstValidSlot(m, n, p) == 1) continue;  // hole
           child = prev;  // ran past the last record
           break;
         }
@@ -430,7 +443,7 @@ struct NodeOps {
     if (sib == 0) return false;
     const N* s = resolve(sib);
     // The sibling's slot 0 may be a transient hole; its key is then at 1.
-    const int first = LoadPtrAt(m, s, 0) == 0 && LoadPtrAt(m, s, 1) != 0 ? 1 : 0;
+    const int first = FirstValidSlot(m, s);
     if (LoadPtrAt(m, s, first) == 0) return false;  // empty sibling: no fence
     return LoadKeyAt(m, s, first) <= key;
   }
@@ -453,7 +466,7 @@ struct NodeOps {
           break;
         }
         if (p == 0) {
-          if (i == 0 && LoadPtrAt(m, n, 1) != 0) continue;
+          if (i == 0 && FirstValidSlot(m, n, p) == 1) continue;  // hole
           break;
         }
         if (p == prev) continue;
@@ -525,8 +538,7 @@ struct NodeOps {
       const std::uint64_t sib = LoadSibling(m, n);
       if (sib != 0) {
         const N* s = resolve(sib);
-        const int sfirst =
-            LoadPtrAt(m, s, 0) == 0 && LoadPtrAt(m, s, 1) != 0 ? 1 : 0;
+        const int sfirst = FirstValidSlot(m, s);
         if (LoadPtrAt(m, s, sfirst) != 0) {
           const Key fence = LoadKeyAt(m, s, sfirst);
           if (LoadKeyAt(m, n, cnt - 1) >= fence) {
@@ -551,7 +563,7 @@ struct NodeOps {
   /// concurrently shifting (the paper shows binary search is incompatible
   /// with lock-free readers; benchmarks use it single-threaded).
   static Value BinarySearchLeaf(Mem& m, const N* n, Key key) {
-    int lo = HasHoleAtZero(m, n) ? 1 : 0;
+    int lo = FirstValidSlot(m, n);
     int hi = CountRaw(m, n);  // exclusive
     while (lo < hi) {
       const int mid = lo + (hi - lo) / 2;
@@ -567,7 +579,7 @@ struct NodeOps {
   }
 
   static std::uint64_t BinarySearchInternal(Mem& m, const N* n, Key key) {
-    const int first = HasHoleAtZero(m, n) ? 1 : 0;
+    const int first = FirstValidSlot(m, n);
     int lo = first;
     int hi = CountRaw(m, n);  // exclusive
     // Find the first record with key > `key`; the child is the record just

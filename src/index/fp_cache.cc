@@ -1,0 +1,173 @@
+#include "index/fp_cache.h"
+
+#include "common/simd.h"
+
+namespace fastfair {
+
+namespace {
+
+// Golden-ratio mix (the same multiplier the hashed adapter and FPTree
+// use); bucket index and fingerprint read disjoint bit ranges of it.
+inline std::uint64_t Mix(Key key) { return key * 0x9E3779B97F4A7C15ull; }
+
+}  // namespace
+
+struct alignas(64) FpProbeCache::Bucket {
+  // One-byte fingerprints, matched 16-at-a-time by simd::ByteEqMask (the
+  // kernel reads the full 64-byte header line; trailing fields are inert
+  // under the n=16 mask). Plain bytes on purpose: they are advisory — a
+  // racing reader that sees a stale byte either skips a live slot (a cache
+  // miss, always correct) or visits a dead one and is rejected by the key
+  // check below.
+  std::uint8_t fps[kSlotsPerBucket] = {};
+  std::atomic<std::uint16_t> valid{0};  // slot liveness bits
+  std::atomic<std::uint32_t> gen{0};    // bumped by Invalidate
+  std::atomic<std::uint8_t> lock{0};    // mutator spinlock
+  std::uint8_t victim = 0;              // round-robin eviction cursor
+  alignas(64) std::atomic<std::uint64_t> keys[kSlotsPerBucket] = {};
+  alignas(64) std::atomic<std::uint64_t> vals[kSlotsPerBucket] = {};
+
+  void Lock() {
+    while (lock.exchange(1, std::memory_order_acquire) != 0) {
+#if defined(__x86_64__) || defined(_M_X64)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void Unlock() { lock.store(0, std::memory_order_release); }
+};
+
+FpProbeCache::FpProbeCache(std::size_t entries) {
+  static_assert(sizeof(Bucket) == 320,
+                "bucket layout: 1 header line + 2 key lines + 2 value lines");
+  std::size_t want = (entries + kSlotsPerBucket - 1) / kSlotsPerBucket;
+  if (want == 0) want = 1;
+  std::size_t n = 1;
+  while (n < want) n <<= 1;
+  nbuckets_ = n;
+  bucket_mask_ = n - 1;
+  buckets_ = new Bucket[n];
+}
+
+FpProbeCache::~FpProbeCache() { delete[] buckets_; }
+
+FpProbeCache::Bucket& FpProbeCache::BucketFor(Key key,
+                                              std::uint8_t* fp) const {
+  const std::uint64_t mixed = Mix(key);
+  *fp = static_cast<std::uint8_t>(mixed >> 56);
+  return buckets_[(mixed >> 8) & bucket_mask_];
+}
+
+Value FpProbeCache::Lookup(Key key) const {
+  std::uint8_t fp;
+  const Bucket& b = BucketFor(key, &fp);
+  const std::uint16_t valid = b.valid.load(std::memory_order_acquire);
+  std::uint64_t mask =
+      simd::ByteEqMask(b.fps, kSlotsPerBucket, fp) & valid;
+  while (mask != 0) {
+    const int i = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    const Key k1 = b.keys[i].load(std::memory_order_acquire);
+    if (k1 != key) continue;
+    const Value v = b.vals[i].load(std::memory_order_acquire);
+    // Slot reuse passes through key=0 and installs publish value before
+    // key, so a key stable across the value load owned that value.
+    if (b.keys[i].load(std::memory_order_acquire) != k1 || v == kNoValue) {
+      continue;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return kNoValue;
+}
+
+std::uint32_t FpProbeCache::Generation(Key key) const {
+  std::uint8_t fp;
+  return BucketFor(key, &fp).gen.load(std::memory_order_acquire);
+}
+
+bool FpProbeCache::Install(Key key, Value value, std::uint32_t gen_seen) {
+  std::uint8_t fp;
+  Bucket& b = BucketFor(key, &fp);
+  b.Lock();
+  if (b.gen.load(std::memory_order_relaxed) != gen_seen) {
+    b.Unlock();
+    stale_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::uint16_t valid = b.valid.load(std::memory_order_relaxed);
+  // Same key already cached: overwrite the value in place (an atomic
+  // 8-byte store a concurrent reader sees entirely or not at all).
+  std::uint64_t mask =
+      simd::ByteEqMask(b.fps, kSlotsPerBucket, fp) & valid;
+  while (mask != 0) {
+    const int i = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    if (b.keys[i].load(std::memory_order_relaxed) == key) {
+      b.vals[i].store(value, std::memory_order_release);
+      b.Unlock();
+      installs_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Fill an empty slot, else evict round-robin.
+  int slot;
+  if (valid != 0xFFFF) {
+    slot = __builtin_ctz(static_cast<unsigned>(~valid) & 0xFFFFu);
+  } else {
+    slot = b.victim;
+    b.victim = static_cast<std::uint8_t>((b.victim + 1) % kSlotsPerBucket);
+  }
+  const std::uint16_t bit = static_cast<std::uint16_t>(1u << slot);
+  // Publication order is load-bearing for the lock-free readers: retire
+  // the slot (valid off, key zeroed), store the value, then the key, then
+  // re-arm. A reader that saw the old key cannot take the new value (key
+  // recheck) and one that sees the new key is ordered after the value.
+  b.valid.store(valid & ~bit, std::memory_order_release);
+  b.keys[slot].store(0, std::memory_order_release);
+  b.vals[slot].store(value, std::memory_order_release);
+  b.keys[slot].store(key, std::memory_order_release);
+  b.fps[slot] = fp;
+  b.valid.store(static_cast<std::uint16_t>((valid & ~bit) | bit),
+                std::memory_order_release);
+  b.Unlock();
+  installs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FpProbeCache::Invalidate(Key key) {
+  std::uint8_t fp;
+  Bucket& b = BucketFor(key, &fp);
+  b.Lock();
+  std::uint16_t valid = b.valid.load(std::memory_order_relaxed);
+  std::uint64_t mask =
+      simd::ByteEqMask(b.fps, kSlotsPerBucket, fp) & valid;
+  while (mask != 0) {
+    const int i = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    if (b.keys[i].load(std::memory_order_relaxed) == key) {
+      valid = static_cast<std::uint16_t>(valid & ~(1u << i));
+      b.valid.store(valid, std::memory_order_release);
+      b.keys[i].store(0, std::memory_order_release);
+    }
+  }
+  // Always bump, even when the key was not cached: the generation guards
+  // in-flight read-through fills for this key, which may not have
+  // installed yet.
+  b.gen.fetch_add(1, std::memory_order_release);
+  b.Unlock();
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+FpProbeCache::Stats FpProbeCache::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.installs = installs_.load(std::memory_order_relaxed);
+  s.stale_aborts = stale_aborts_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fastfair

@@ -1,0 +1,101 @@
+// FPTree-style one-byte fingerprint probe tier for the hashed index
+// (DESIGN.md §9.4).
+//
+// A hashed-tier point lookup pays a full inner-index descent (three-plus
+// node lines for a hashed-fastfair shard) even when the same key was read
+// moments ago. This DRAM-resident sidecar answers repeat point probes from
+// three cache lines: a 64-byte bucket header whose 16 one-byte key
+// fingerprints are matched with one vector compare (simd::ByteEqMask, the
+// same kernel the FPTree baseline's leaf probe uses), then the one
+// candidate's key and value line. It is a read-through cache, never a
+// write-through store: values enter only on the Search miss path, and any
+// writer touching a key invalidates first — the authoritative state always
+// lives in the inner index.
+//
+// Concurrency protocol (readers lock-free, mutators per-bucket spinlock):
+//
+//  * Reader probe: fingerprint mask & valid mask -> candidate slot; load
+//    key (acquire), load value, re-load key. Slot reuse always passes
+//    through key=0, and an install publishes value *before* key, so a
+//    stable key brackets a value that belonged to that key.
+//  * Stale-fill guard: Search records the bucket generation *before* its
+//    inner descent and Install aborts if it moved (Insert/Remove bump it
+//    under the lock). Without this, a slow reader could cache a value the
+//    writer already replaced: read gen, descend (find old v), writer
+//    inserts new v + invalidates, reader installs old v — the gen mismatch
+//    kills exactly this interleaving. An install that races *ahead* of the
+//    writer's invalidation is killed by the invalidation itself (it
+//    matches by key, not by slot).
+//
+// Sizing: each bucket is 5 cache lines (64B header + 128B keys + 128B
+// values) holding 16 entries; the default 16K-entry cache is 320 KB of
+// DRAM per index. Capacity 0 disables the tier entirely.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/defs.h"
+
+namespace fastfair {
+
+class FpProbeCache {
+ public:
+  static constexpr std::size_t kSlotsPerBucket = 16;
+
+  /// Running totals (relaxed counters; exact at quiescence).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t installs = 0;       // successful read-through fills
+    std::uint64_t stale_aborts = 0;   // fills dropped by the gen guard
+    std::uint64_t invalidations = 0;  // writer-side Invalidate calls
+  };
+
+  /// Capacity in entries, rounded up to a power-of-two bucket count
+  /// (>= kSlotsPerBucket entries).
+  explicit FpProbeCache(std::size_t entries);
+  ~FpProbeCache();
+
+  FpProbeCache(const FpProbeCache&) = delete;
+  FpProbeCache& operator=(const FpProbeCache&) = delete;
+
+  /// Lock-free point probe: the cached value, or kNoValue on miss.
+  Value Lookup(Key key) const;
+
+  /// Generation of key's bucket, read before the inner descent on the
+  /// miss path and passed back to Install.
+  std::uint32_t Generation(Key key) const;
+
+  /// Read-through fill: publishes (key, value) unless the bucket
+  /// generation moved past `gen_seen` (a writer intervened). `value` must
+  /// not be kNoValue. Returns false on a stale abort.
+  bool Install(Key key, Value value, std::uint32_t gen_seen);
+
+  /// Writer-side invalidation: drops any cached entry for `key` and bumps
+  /// the bucket generation so in-flight read-through fills abort.
+  void Invalidate(Key key);
+
+  Stats GetStats() const;
+  std::size_t bucket_count() const { return nbuckets_; }
+
+ private:
+  struct Bucket;
+
+  Bucket& BucketFor(Key key, std::uint8_t* fp) const;
+
+  Bucket* buckets_ = nullptr;
+  std::size_t nbuckets_ = 0;  // power of two
+  std::uint64_t bucket_mask_ = 0;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> installs_{0};
+  std::atomic<std::uint64_t> stale_aborts_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace fastfair
