@@ -53,47 +53,109 @@ void MaybeRebalance(Index* idx, pm::Pool* pool, const bench::Options& opt) {
   mt->Stop();
 }
 
-double RunSearch(Index* idx, const std::vector<Key>& keys, int threads) {
-  const std::uint64_t wall =
-      bench::RunThreads(threads, keys.size(),
-                        [&](int, std::size_t b, std::size_t e) {
-                          for (std::size_t i = b; i < e; ++i) {
-                            if (idx->Search(keys[i]) == kNoValue) std::abort();
-                          }
-                        });
-  return bench::Kops(keys.size(), wall);
-}
+// Throughput plus (with --latency) the per-op latency distribution of the
+// phase, merged across threads.
+struct PhaseResult {
+  double kops = 0.0;
+  bench::LatencyHistogram hist;
+};
 
-double RunInsert(Index* idx, const std::vector<Key>& keys, int threads) {
-  const std::uint64_t wall =
-      bench::RunThreads(threads, keys.size(),
-                        [&](int, std::size_t b, std::size_t e) {
-                          for (std::size_t i = b; i < e; ++i) {
-                            idx->Insert(keys[i], bench::ValueFor(keys[i]));
-                          }
-                        });
-  return bench::Kops(keys.size(), wall);
-}
-
-double RunMixed(Index* idx, const std::vector<bench::Op>& ops, int threads) {
-  const std::uint64_t wall = bench::RunThreads(
-      threads, ops.size(), [&](int, std::size_t b, std::size_t e) {
+// Wraps a per-op body with optional latency recording: one clock read per
+// op (each op's end timestamp doubles as the next one's start), zero
+// overhead when the histogram pointer is null (--latency off).
+template <class Fn>
+std::uint64_t RunOps(int threads, std::size_t total,
+                     std::vector<bench::LatencyHistogram>* hists,
+                     const Fn& op) {
+  return bench::RunThreads(
+      threads, total, [&](int t, std::size_t b, std::size_t e) {
+        if (hists == nullptr) {
+          for (std::size_t i = b; i < e; ++i) op(i);
+          return;
+        }
+        bench::LatencyHistogram& h = (*hists)[static_cast<std::size_t>(t)];
+        std::uint64_t start = pm::NowNs();
         for (std::size_t i = b; i < e; ++i) {
-          const auto& op = ops[i];
-          switch (op.type) {
-            case bench::OpType::kSearch:
-              idx->Search(op.key);
-              break;
-            case bench::OpType::kInsert:
-              idx->Insert(op.key, bench::ValueFor(op.key));
-              break;
-            case bench::OpType::kDelete:
-              idx->Remove(op.key);
-              break;
-          }
+          op(i);
+          const std::uint64_t end = pm::NowNs();
+          h.Record(end - start);
+          start = end;
         }
       });
-  return bench::Kops(ops.size(), wall);
+}
+
+PhaseResult Finish(std::size_t ops, std::uint64_t wall,
+                   std::vector<bench::LatencyHistogram>* hists) {
+  PhaseResult r;
+  r.kops = bench::Kops(ops, wall);
+  if (hists != nullptr) {
+    for (auto& h : *hists) r.hist.Merge(h);
+  }
+  return r;
+}
+
+PhaseResult RunSearch(Index* idx, const std::vector<Key>& keys, int threads,
+                      bool latency) {
+  std::vector<bench::LatencyHistogram> hists(
+      latency ? static_cast<std::size_t>(threads) : 0);
+  auto* hp = latency ? &hists : nullptr;
+  const std::uint64_t wall = RunOps(threads, keys.size(), hp,
+                                    [&](std::size_t i) {
+                                      if (idx->Search(keys[i]) == kNoValue) {
+                                        std::abort();
+                                      }
+                                    });
+  return Finish(keys.size(), wall, hp);
+}
+
+PhaseResult RunInsert(Index* idx, const std::vector<Key>& keys, int threads,
+                      bool latency) {
+  std::vector<bench::LatencyHistogram> hists(
+      latency ? static_cast<std::size_t>(threads) : 0);
+  auto* hp = latency ? &hists : nullptr;
+  const std::uint64_t wall =
+      RunOps(threads, keys.size(), hp, [&](std::size_t i) {
+        idx->Insert(keys[i], bench::ValueFor(keys[i]));
+      });
+  return Finish(keys.size(), wall, hp);
+}
+
+PhaseResult RunMixed(Index* idx, const std::vector<bench::Op>& ops,
+                     int threads, bool latency) {
+  std::vector<bench::LatencyHistogram> hists(
+      latency ? static_cast<std::size_t>(threads) : 0);
+  auto* hp = latency ? &hists : nullptr;
+  const std::uint64_t wall =
+      RunOps(threads, ops.size(), hp, [&](std::size_t i) {
+        const auto& op = ops[i];
+        switch (op.type) {
+          case bench::OpType::kSearch:
+            idx->Search(op.key);
+            break;
+          case bench::OpType::kInsert:
+            idx->Insert(op.key, bench::ValueFor(op.key));
+            break;
+          case bench::OpType::kDelete:
+            idx->Remove(op.key);
+            break;
+        }
+      });
+  return Finish(ops.size(), wall, hp);
+}
+
+/// Table row tail: throughput plus, under --latency, the four percentile
+/// columns in microseconds.
+std::vector<std::string> ResultCells(const PhaseResult& r, bool latency) {
+  std::vector<std::string> cells = {bench::Table::Num(r.kops)};
+  if (latency) {
+    const auto s = r.hist.Summarize();
+    cells.push_back(bench::Table::Num(static_cast<double>(s.p50_ns) / 1000.0));
+    cells.push_back(bench::Table::Num(static_cast<double>(s.p90_ns) / 1000.0));
+    cells.push_back(bench::Table::Num(static_cast<double>(s.p99_ns) / 1000.0));
+    cells.push_back(
+        bench::Table::Num(static_cast<double>(s.p999_ns) / 1000.0));
+  }
+  return cells;
 }
 
 }  // namespace
@@ -146,7 +208,19 @@ int main(int argc, char** argv) {
   const std::vector<std::string> insert_kinds = {
       "fastfair", opt.ShardedKind(), "fptree", "blink", "skiplist"};
 
-  bench::Table table({"workload", "index", "threads", "Kops_per_sec"});
+  std::vector<std::string> headers = {"workload", "index", "threads",
+                                      "Kops_per_sec"};
+  if (opt.latency) {
+    headers.insert(headers.end(),
+                   {"p50_us", "p90_us", "p99_us", "p999_us"});
+  }
+  bench::Table table(headers);
+  auto add_row = [&](const std::string& workload, const std::string& kind,
+                     int t, const PhaseResult& r) {
+    std::vector<std::string> cells = {workload, kind, std::to_string(t)};
+    for (auto& c : ResultCells(r, opt.latency)) cells.push_back(std::move(c));
+    table.AddRow(cells);
+  };
   for (const auto& kind : search_kinds) {
     pm::SetConfig(pm::Config{});
     pm::Pool pool(std::size_t{8} << 30);
@@ -155,8 +229,8 @@ int main(int argc, char** argv) {
     MaybeRebalance(idx.get(), &pool, opt);
     pm::SetConfig(cfg);
     for (const int t : opt.threads) {
-      table.AddRow({"search", kind, std::to_string(t),
-                    bench::Table::Num(RunSearch(idx.get(), preload, t))});
+      add_row("search", kind, t,
+              RunSearch(idx.get(), preload, t, opt.latency));
     }
   }
   for (const auto& kind : insert_kinds) {
@@ -167,8 +241,7 @@ int main(int argc, char** argv) {
       bench::LoadIndex(idx.get(), preload);
       MaybeRebalance(idx.get(), &pool, opt);
       pm::SetConfig(cfg);
-      table.AddRow({"insert", kind, std::to_string(t),
-                    bench::Table::Num(RunInsert(idx.get(), extra, t))});
+      add_row("insert", kind, t, RunInsert(idx.get(), extra, t, opt.latency));
     }
   }
   for (const auto& kind : search_kinds) {
@@ -179,8 +252,7 @@ int main(int argc, char** argv) {
       bench::LoadIndex(idx.get(), preload);
       MaybeRebalance(idx.get(), &pool, opt);
       pm::SetConfig(cfg);
-      table.AddRow({"mixed", kind, std::to_string(t),
-                    bench::Table::Num(RunMixed(idx.get(), mixed, t))});
+      add_row("mixed", kind, t, RunMixed(idx.get(), mixed, t, opt.latency));
     }
   }
   pm::SetConfig(pm::Config{});

@@ -109,6 +109,29 @@ Options ParseOptions(int argc, char** argv) {
       // down exactly like FASTFAIR_SIMD (the flag wins over the env var
       // because it forces first).
       simd::ForceIsa(isa);
+    } else if (const char* v = val("--service-workers=")) {
+      char* end = nullptr;
+      o.service_workers = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || o.service_workers == 0) {
+        std::fprintf(stderr, "--service-workers must be a positive int\n");
+        std::exit(2);
+      }
+    } else if (const char* v = val("--batch-timeout-us=")) {
+      char* end = nullptr;
+      o.batch_timeout_us = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--batch-timeout-us must be a non-negative int\n");
+        std::exit(2);
+      }
+    } else if (const char* v = val("--quota=")) {
+      char* end = nullptr;
+      o.quota = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--quota must be a non-negative int\n");
+        std::exit(2);
+      }
+    } else if (a == "--latency") {
+      o.latency = true;
     } else if (a == "--wc") {
       o.wc = true;
     } else if (a == "--csv") {
@@ -118,7 +141,8 @@ Options ParseOptions(int argc, char** argv) {
           "options: --scale=ci|small|paper --n=N --threads=1,2,4 "
           "--shards=S --sharding=range|hash|adaptive --skew=THETA "
           "--churn=R --maintenance --rebalance-threshold=R "
-          "--maint-interval-us=N --batch=N --wc "
+          "--maint-interval-us=N --batch=N --service-workers=N "
+          "--batch-timeout-us=N --quota=OPS --latency --wc "
           "--simd=scalar|sse2|avx2|avx512|neon|auto --csv --seed=S\n");
       std::exit(0);
     } else {

@@ -40,6 +40,14 @@
 //                            DESIGN.md §9.1); unsupported tiers clamp down,
 //                            same as the FASTFAIR_SIMD env var. Default:
 //                            auto (best supported)
+//   --service-workers=<N>    worker threads for the KV service tier
+//                            (bench_service; DESIGN.md §10)
+//   --batch-timeout-us=<us>  longest a service worker holds a partial
+//                            cross-client group before flushing it
+//   --quota=<ops/sec>        per-tenant token-bucket admission quota for
+//                            the service tier; 0 (default) = unlimited
+//   --latency                record per-op latency histograms (fig7) and
+//                            print p50/p90/p99/p999 alongside throughput
 //   --csv                    machine-readable output
 //   --seed=<u64>             workload seed
 
@@ -65,6 +73,10 @@ struct Options {
   double rebalance_threshold = 1.2;     // --rebalance-threshold=R
   std::uint64_t maint_interval_us = 1000;  // --maint-interval-us=N
   std::size_t batch = 0;  // --batch=N; 0 = scalar operations
+  std::size_t service_workers = 8;     // --service-workers=N (bench_service)
+  std::uint64_t batch_timeout_us = 100;  // --batch-timeout-us=N
+  std::uint64_t quota = 0;  // --quota=OPS per tenant/sec; 0 = unlimited
+  bool latency = false;     // --latency: per-op latency histograms
   bool wc = false;        // --wc: relaxed persistency + flush coalescing
   std::string simd = "auto";  // --simd=ISA; pins search kernels (§9.1)
   bool csv = false;

@@ -1,2 +1,85 @@
-// Intentionally header-only (bench/stats.h); this TU anchors the target.
 #include "bench/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace fastfair::bench {
+
+std::size_t LatencyHistogram::BucketOf(std::uint64_t ns) {
+  if (ns < kSub) return static_cast<std::size_t>(ns);
+  const int top = 63 - std::countl_zero(ns);  // MSB position, >= kSubBits
+  const int shift = top - kSubBits;
+  const std::size_t sub =
+      static_cast<std::size_t>(ns >> shift) & (kSub - 1);
+  return static_cast<std::size_t>(top - kSubBits + 1) * kSub + sub;
+}
+
+std::uint64_t LatencyHistogram::BucketHigh(std::size_t b) {
+  if (b < kSub) return b;
+  const std::size_t group = b / kSub;
+  const std::uint64_t sub = b % kSub;
+  const int shift = static_cast<int>(group) - 1;
+  // Bucket [((32+sub) << shift), ((32+sub+1) << shift)): report the last
+  // value it can hold.
+  return ((kSub + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::Record(std::uint64_t ns) {
+  if (ns == 0) ns = 1;
+  ++buckets_[BucketOf(ns)];
+  ++count_;
+  sum_ += ns;
+  max_ = std::max(max_, ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::PercentileNs(double p) const {
+  if (count_ == 0) return 0;
+  if (p >= 100.0) return max_;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return std::min(BucketHigh(b), max_);
+  }
+  return max_;
+}
+
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  Summary s;
+  s.count = count_;
+  s.mean_ns = MeanNs();
+  s.p50_ns = PercentileNs(50.0);
+  s.p90_ns = PercentileNs(90.0);
+  s.p99_ns = PercentileNs(99.0);
+  s.p999_ns = PercentileNs(99.9);
+  s.max_ns = max_;
+  return s;
+}
+
+void LatencyHistogram::AppendJson(std::string* out) const {
+  const Summary s = Summarize();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"mean_ns\":%.1f,\"p50_ns\":%llu,"
+                "\"p90_ns\":%llu,\"p99_ns\":%llu,\"p999_ns\":%llu,"
+                "\"max_ns\":%llu}",
+                static_cast<unsigned long long>(s.count), s.mean_ns,
+                static_cast<unsigned long long>(s.p50_ns),
+                static_cast<unsigned long long>(s.p90_ns),
+                static_cast<unsigned long long>(s.p99_ns),
+                static_cast<unsigned long long>(s.p999_ns),
+                static_cast<unsigned long long>(s.max_ns));
+  out->append(buf);
+}
+
+}  // namespace fastfair::bench

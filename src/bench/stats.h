@@ -1,5 +1,7 @@
-// Measurement helpers: wall-clock timing, per-op averages, and the Fig 5(a)
-// insert-time breakdown built on the pm layer's per-thread counters.
+// Measurement helpers: wall-clock timing, per-op averages, the Fig 5(a)
+// insert-time breakdown built on the pm layer's per-thread counters, and the
+// log-bucketed latency histogram behind every percentile a bench reports
+// (fig7 --latency, bench_service).
 
 #pragma once
 
@@ -60,5 +62,69 @@ inline double Kops(std::size_t ops, std::uint64_t wall_ns) {
   return static_cast<double>(ops) / (static_cast<double>(wall_ns) / 1e9) /
          1e3;
 }
+
+/// Log-bucketed (HDR-style) latency recorder. Values below 2^kSubBits ns
+/// get exact buckets; above that, every power-of-two range splits into
+/// 2^kSubBits sub-buckets, bounding the relative quantization error of any
+/// reported percentile at 1/2^kSubBits (~3%) while keeping the whole
+/// recorder a flat 15 KB array — Record() is a bit-scan plus one
+/// increment, cheap enough to time every op of a tail-latency run.
+///
+/// Not thread-safe: record into one histogram per thread and Merge() after
+/// the timed phase (the pattern RunThreads callers use).
+class LatencyHistogram {
+ public:
+  /// Records one sample (nanoseconds; 0 clamps to 1).
+  void Record(std::uint64_t ns);
+
+  /// Folds `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return max_; }
+  double MeanNs() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Approximate percentile in nanoseconds, p in (0, 100]. Returns the
+  /// upper edge of the bucket holding the rank-ceil(p/100 * count) sample
+  /// (conservative for tail gates); the exact maximum for p == 100. 0 when
+  /// the histogram is empty.
+  std::uint64_t PercentileNs(double p) const;
+
+  /// The percentile set every consumer reports, extracted in one pass.
+  struct Summary {
+    std::uint64_t count = 0;
+    double mean_ns = 0.0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  Summary Summarize() const;
+
+  /// Appends the summary as a JSON object
+  /// ({"count":..,"mean_ns":..,"p50_ns":..,...,"max_ns":..}) — the shape
+  /// BENCH_service.json embeds per phase.
+  void AppendJson(std::string* out) const;
+
+ private:
+  static constexpr int kSubBits = 5;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;  // 32
+  // Bucket count: the linear region [0, 32) plus one 32-wide group per
+  // power-of-two range up to 2^63.
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) * kSub;
+
+  static std::size_t BucketOf(std::uint64_t ns);
+  static std::uint64_t BucketHigh(std::size_t b);
+
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
 
 }  // namespace fastfair::bench

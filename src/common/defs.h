@@ -19,6 +19,12 @@ using Value = std::uint64_t;
 /// Reserved value meaning "no entry" / "not found".
 inline constexpr Value kNoValue = 0;
 
+/// Per-op outcome of a batched upsert (Index::InsertBatch with a status
+/// array, core::BTreeT::InsertBatch): whether the op created its key or
+/// overwrote an existing entry. Shared vocabulary between the core tree,
+/// the index tier, and the service tier's Put replies.
+enum class InsertStatus : std::uint8_t { kInserted, kUpdated };
+
 /// Size of a CPU cache line; the unit of transfer between cache and PM.
 inline constexpr std::size_t kCacheLineSize = 64;
 

@@ -103,8 +103,9 @@ class BTreeT {
   TreeMeta* meta() const { return meta_; }
   const Options& options() const { return opts_; }
 
-  /// Upsert. `value` must not be kNoValue.
-  void Insert(Key key, Value value);
+  /// Upsert. `value` must not be kNoValue. Returns true when the key was
+  /// newly inserted, false when an existing entry was overwritten.
+  bool Insert(Key key, Value value);
 
   /// Removes `key`; returns false if absent.
   bool Remove(Key key);
@@ -129,7 +130,11 @@ class BTreeT {
   /// order (duplicate keys within the batch resolve to the last
   /// occurrence). Descents pipeline exactly like SearchBatch; the leaf
   /// writes themselves run one at a time under the usual leaf locks.
-  void InsertBatch(const Record* ops, std::size_t n);
+  /// When `out` is non-null, out[i] records whether op i created its key
+  /// or overwrote an existing entry (a duplicate key's second occurrence
+  /// reports kUpdated).
+  void InsertBatch(const Record* ops, std::size_t n,
+                   InsertStatus* out = nullptr);
 
   /// Collects up to `max_results` records with key >= min_key in ascending
   /// order. Returns the number written.
@@ -235,7 +240,8 @@ class BTreeT {
 
   /// Insert tail: locks the covering leaf starting from hint `leaf`
   /// (re-descending if the hint died) and performs the upsert/split.
-  void InsertFrom(NodeT* leaf, Key key, Value value);
+  /// Returns true for a fresh insert, false for an in-place update.
+  bool InsertFrom(NodeT* leaf, Key key, Value value);
 
   /// Locks `n`, hopping right while the key belongs to a sibling. On a hop
   /// triggered at leaf level, lazily completes a possibly-crashed split by

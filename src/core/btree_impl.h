@@ -235,7 +235,7 @@ typename BTreeT<P>::NodeT* BTreeT<P>::LockCovering(NodeT* n, Key key) {
 // --- point operations -----------------------------------------------------------
 
 template <std::size_t P>
-void BTreeT<P>::InsertFrom(NodeT* leaf, Key key, Value value) {
+bool BTreeT<P>::InsertFrom(NodeT* leaf, Key key, Value value) {
   // Per-operation write-combining scope (DESIGN.md §8.2): a no-op unless
   // the global config opted into relaxed-persistency flush coalescing;
   // then every flush this operation issues — shifts, split copies, parent
@@ -252,27 +252,30 @@ void BTreeT<P>::InsertFrom(NodeT* leaf, Key key, Value value) {
     if (opts_.reclaim_empty_leaves) TryUnlinkEmptySibling(leaf, key);
     if (Ops::UpdateKey(m, leaf, key, value)) {  // upsert: 8-byte in-place
       leaf->hdr.lock.unlock();
-      return;
+      return false;
     }
     if (Ops::CountRaw(m, leaf) < kNodeCapacity) {
       Ops::InsertKey(m, leaf, key, value);
       leaf->hdr.lock.unlock();
-      return;
+      return true;
     }
+    // UpdateKey already handled an existing key, so a split always carries
+    // a fresh insert.
     SplitAndInsert(leaf, key, value);
-    return;
+    return true;
   }
 }
 
 template <std::size_t P>
-void BTreeT<P>::Insert(Key key, Value value) {
+bool BTreeT<P>::Insert(Key key, Value value) {
   assert(value != kNoValue && "kNoValue (0) is reserved");
   detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);  // pins reclaimed nodes
-  InsertFrom(FindLeaf(key), key, value);
+  return InsertFrom(FindLeaf(key), key, value);
 }
 
 template <std::size_t P>
-void BTreeT<P>::InsertBatch(const Record* ops, std::size_t n) {
+void BTreeT<P>::InsertBatch(const Record* ops, std::size_t n,
+                            InsertStatus* out) {
   detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
   Key keys[kBatchGroup];
   NodeT* leaves[kBatchGroup];
@@ -285,7 +288,11 @@ void BTreeT<P>::InsertBatch(const Record* ops, std::size_t n) {
     // InsertFrom absorbs (move-right, or re-descend on a dead node).
     for (std::size_t j = 0; j < g; ++j) {
       assert(ops[i + j].ptr != kNoValue && "kNoValue (0) is reserved");
-      InsertFrom(leaves[j], keys[j], ops[i + j].ptr);
+      const bool inserted = InsertFrom(leaves[j], keys[j], ops[i + j].ptr);
+      if (out != nullptr) {
+        out[i + j] =
+            inserted ? InsertStatus::kInserted : InsertStatus::kUpdated;
+      }
     }
   }
 }

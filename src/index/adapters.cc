@@ -39,11 +39,23 @@ class Wrap final : public Index {
       Index::SearchBatch(keys, n, out);
     }
   }
-  void InsertBatch(const core::Record* ops, std::size_t n) override {
-    if constexpr (requires { impl_.InsertBatch(ops, n); }) {
-      impl_.InsertBatch(ops, n);
+  using Index::InsertBatch;  // keep the 2-arg convenience form visible
+  void InsertBatch(const core::Record* ops, std::size_t n,
+                   InsertStatus* out) override {
+    // The core tree's pipelined batch reports insert-vs-update natively;
+    // a baseline with only a plain batch entry point keeps it for the
+    // no-status call and falls back to the default Search-probe loop when
+    // the caller wants statuses.
+    if constexpr (requires { impl_.InsertBatch(ops, n, out); }) {
+      impl_.InsertBatch(ops, n, out);
+    } else if constexpr (requires { impl_.InsertBatch(ops, n); }) {
+      if (out == nullptr) {
+        impl_.InsertBatch(ops, n);
+      } else {
+        Index::InsertBatch(ops, n, out);
+      }
     } else {
-      Index::InsertBatch(ops, n);
+      Index::InsertBatch(ops, n, out);
     }
   }
   std::size_t Scan(Key min_key, std::size_t max_results,
@@ -191,8 +203,18 @@ void Index::SearchBatch(const Key* keys, std::size_t n, Value* out) const {
   for (std::size_t i = 0; i < n; ++i) out[i] = Search(keys[i]);
 }
 
-void Index::InsertBatch(const core::Record* ops, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) Insert(ops[i].key, ops[i].ptr);
+void Index::InsertBatch(const core::Record* ops, std::size_t n,
+                        InsertStatus* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out != nullptr) {
+      // Two-step probe for kinds whose Insert doesn't report: exact at
+      // quiescence (and within a batch — an earlier duplicate is visible
+      // to the probe), best-effort against concurrent same-key writers.
+      out[i] = Search(ops[i].key) == kNoValue ? InsertStatus::kInserted
+                                              : InsertStatus::kUpdated;
+    }
+    Insert(ops[i].key, ops[i].ptr);
+  }
 }
 
 std::size_t Index::CountEntries() const {

@@ -103,13 +103,23 @@ void HashShardedIndex::SearchBatch(const Key* keys, std::size_t n,
   }
 }
 
-void HashShardedIndex::InsertBatch(const core::Record* ops, std::size_t n) {
+void HashShardedIndex::InsertBatch(const core::Record* ops, std::size_t n,
+                                   InsertStatus* out) {
   if (n == 0) return;
+  std::vector<InsertStatus> st;
   detail::DispatchBatchByShard(
       ops, n, shards_.size(),
       [this](const core::Record& r) { return ShardOf(r.key); },
       [&](std::size_t s, const core::Record* gops, std::size_t len,
-          const std::uint32_t*) { shards_[s]->InsertBatch(gops, len); });
+          const std::uint32_t* pos) {
+        if (out != nullptr) {
+          st.resize(len);
+          shards_[s]->InsertBatch(gops, len, st.data());
+          for (std::size_t j = 0; j < len; ++j) out[pos[j]] = st[j];
+        } else {
+          shards_[s]->InsertBatch(gops, len);
+        }
+      });
   if (fp_cache_ != nullptr) {
     for (std::size_t i = 0; i < n; ++i) fp_cache_->Invalidate(ops[i].key);
   }

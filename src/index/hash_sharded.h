@@ -51,7 +51,9 @@ class HashShardedIndex final : public Index {
   /// (the inner kind's pipelined batch runs per shard), results scatter
   /// back to the caller's positions.
   void SearchBatch(const Key* keys, std::size_t n, Value* out) const override;
-  void InsertBatch(const core::Record* ops, std::size_t n) override;
+  using Index::InsertBatch;  // keep the 2-arg convenience form visible
+  void InsertBatch(const core::Record* ops, std::size_t n,
+                   InsertStatus* out) override;
 
   /// Bounded k-way merge across the per-shard scans: globally sorted, same
   /// result as any other kind's Scan (hash routing never duplicates a key

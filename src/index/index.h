@@ -80,8 +80,21 @@ class Index {
   /// Batched upserts, equivalent to Insert(ops[i].key, ops[i].ptr) in
   /// order; duplicate keys within the batch resolve to the last
   /// occurrence. Same default-loop / native-override contract as
-  /// SearchBatch.
-  virtual void InsertBatch(const core::Record* ops, std::size_t n);
+  /// SearchBatch. Forwards to the status-reporting overload below.
+  void InsertBatch(const core::Record* ops, std::size_t n) {
+    InsertBatch(ops, n, nullptr);
+  }
+
+  /// Batched upserts with per-op result codes: when `out` is non-null,
+  /// out[i] reports whether op i created its key (kInserted) or overwrote
+  /// an existing entry (kUpdated) — the service tier's Put replies depend
+  /// on this. The core tree reports exactly from its leaf upsert; the
+  /// sharded/hashed adapters scatter each shard group's statuses back to
+  /// batch positions; the default adapter (adapters.cc) falls back to a
+  /// Search-then-Insert probe per op, which is exact for a quiesced index
+  /// but best-effort when a concurrent writer races the same key.
+  virtual void InsertBatch(const core::Record* ops, std::size_t n,
+                           InsertStatus* out);
 
   /// Up to `max_results` entries with key >= min_key, ascending. Returns
   /// the count written to `out`.

@@ -149,10 +149,12 @@ class ShardedIndex final : public Index {
   /// shard in one routing pass under a single epoch pin (scalar ops pin
   /// per key), then each shard receives its sub-batch in original order —
   /// one virtual call, one counter update, one histogram check per shard
-  /// group instead of one per key — and results scatter back to the
-  /// caller's positions.
+  /// group instead of one per key — and results (values, per-op insert
+  /// statuses) scatter back to the caller's positions.
   void SearchBatch(const Key* keys, std::size_t n, Value* out) const override;
-  void InsertBatch(const core::Record* ops, std::size_t n) override;
+  using Index::InsertBatch;  // keep the 2-arg convenience form visible
+  void InsertBatch(const core::Record* ops, std::size_t n,
+                   InsertStatus* out) override;
 
   /// Sums the per-shard counts shard by shard, *non-atomically* with
   /// respect to concurrent writers: an insert or remove that lands in a

@@ -148,6 +148,33 @@ ThreadStats ThreadStats::operator-(const ThreadStats& o) const {
   return r;
 }
 
+ThreadStats& ThreadStats::operator+=(const ThreadStats& o) {
+  flush_lines += o.flush_lines;
+  fences += o.fences;
+  barriers += o.barriers;
+  read_annotations += o.read_annotations;
+  read_stalls += o.read_stalls;
+  wc_lines_saved += o.wc_lines_saved;
+  wc_fences_saved += o.wc_fences_saved;
+  flush_ns += o.flush_ns;
+  allocs += o.allocs;
+  alloc_bytes += o.alloc_bytes;
+  arena_refills += o.arena_refills;
+  frees += o.frees;
+  free_bytes += o.free_bytes;
+  recycles += o.recycles;
+  recycle_bytes += o.recycle_bytes;
+  freelist_spills += o.freelist_spills;
+  freelist_refills += o.freelist_refills;
+  return *this;
+}
+
+ThreadStats ThreadStats::operator+(const ThreadStats& o) const {
+  ThreadStats r = *this;
+  r += o;
+  return r;
+}
+
 void SetConfig(const Config& cfg) {
   g_write_latency_ns.store(cfg.write_latency_ns, std::memory_order_relaxed);
   g_read_latency_ns.store(cfg.read_latency_ns, std::memory_order_relaxed);

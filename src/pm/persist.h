@@ -91,6 +91,10 @@ struct ThreadStats {
 
   ThreadStats& operator-=(const ThreadStats& o);
   ThreadStats operator-(const ThreadStats& o) const;
+  /// Member-wise sum: aggregates per-thread deltas across a worker pool
+  /// (the service tier folds each worker's phase delta into one total).
+  ThreadStats& operator+=(const ThreadStats& o);
+  ThreadStats operator+(const ThreadStats& o) const;
 };
 
 /// Mutable reference to this thread's counters.

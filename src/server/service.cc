@@ -1,0 +1,452 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "pm/reclaim.h"
+
+namespace fastfair::server {
+
+namespace {
+
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#endif
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Completion
+
+ReqStatus Completion::Wait() const {
+  // Spin briefly (the common case: the owning worker is mid-group), then
+  // yield so a single-core host lets the worker run.
+  for (int i = 0; i < 1024; ++i) {
+    const ReqStatus s = status_.load(std::memory_order_acquire);
+    if (s != ReqStatus::kPending) return s;
+    CpuRelax();
+  }
+  for (;;) {
+    const ReqStatus s = status_.load(std::memory_order_acquire);
+    if (s != ReqStatus::kPending) return s;
+    std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+
+namespace detail {
+
+bool TokenBucket::TryAcquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t now = pm::NowNs();
+  if (now > last_ns_) {
+    tokens_ = std::min(
+        burst_, tokens_ + static_cast<double>(now - last_ns_) * 1e-9 * rate_);
+    last_ns_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(KvService* service, std::uint32_t id, std::uint64_t tenant,
+                 detail::TokenBucket* quota, std::size_t depth)
+    : service_(service),
+      id_(id),
+      tenant_(tenant),
+      quota_(quota),
+      mask_(std::bit_ceil(std::max<std::size_t>(depth, 2)) - 1),
+      ring_(new detail::Request[mask_ + 1]) {}
+
+bool Session::Get(Key key, Completion* done) {
+  return Submit({detail::OpType::kGet, key, kNoValue, 0, nullptr, done});
+}
+
+bool Session::Put(Key key, Value value, Completion* done) {
+  return Submit({detail::OpType::kPut, key, value, 0, nullptr, done});
+}
+
+bool Session::Del(Key key, Completion* done) {
+  return Submit({detail::OpType::kDel, key, kNoValue, 0, nullptr, done});
+}
+
+bool Session::Scan(Key min_key, std::uint32_t max_results, core::Record* out,
+                   Completion* done) {
+  return Submit(
+      {detail::OpType::kScan, min_key, kNoValue, max_results, out, done});
+}
+
+bool Session::Submit(const detail::Request& r) {
+  KvService* s = service_;
+  // Shutdown handshake, producer half (see KvService::Stop for the proof):
+  // raise pending_submits_ FIRST, then test accepting_. Both seq_cst, so
+  // either Stop's accepting_=false store is visible here (we reject) or our
+  // increment is visible to Stop's drain loop (it waits for our publish).
+  s->pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  ReqStatus reject{};
+  bool admitted = false;
+  if (!s->accepting_.load(std::memory_order_seq_cst)) {
+    reject = ReqStatus::kShutdown;
+    s->rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t - h > mask_) {  // ring at capacity: backpressure, never buffer
+      reject = ReqStatus::kRejectedQueueFull;
+      s->rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    } else if (quota_ != nullptr && !quota_->TryAcquire()) {
+      reject = ReqStatus::kRejectedQuota;
+      s->rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ring_[t & mask_] = r;
+      tail_.store(t + 1, std::memory_order_release);  // publish to the worker
+      s->submitted_.fetch_add(1, std::memory_order_relaxed);
+      admitted = true;
+    }
+  }
+  s->pending_submits_.fetch_sub(1, std::memory_order_release);
+  if (!admitted) {
+    r.done->complete_ns_ = 0;
+    r.done->status_.store(reject, std::memory_order_release);
+  }
+  return admitted;
+}
+
+std::size_t Session::Drain(std::vector<detail::Request>* out,
+                           std::size_t max) {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  std::size_t n = tail - head;
+  if (n > max) n = max;
+  for (std::size_t i = 0; i < n; ++i) {
+    out->push_back(ring_[(head + i) & mask_]);
+  }
+  if (n != 0) head_.store(head + n, std::memory_order_release);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// KvService
+
+KvService::KvService(Index* index, const ServiceOptions& opts)
+    : index_(index), opts_(opts) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.queue_depth < 2) opts_.queue_depth = 2;
+  if (opts_.max_sessions == 0) opts_.max_sessions = 1;
+  num_workers_ = index_->supports_concurrency() ? opts_.workers : 1;
+  workers_.reserve(num_workers_);
+  for (std::size_t i = 0; i < num_workers_; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Reserved once; OpenSession never reallocates, so workers may walk
+  // sessions_[0, num_sessions_) without the open_mu_ lock.
+  sessions_.reserve(opts_.max_sessions);
+}
+
+KvService::~KvService() { Stop(); }
+
+Session* KvService::OpenSession(std::uint64_t tenant) {
+  std::lock_guard<std::mutex> lk(open_mu_);
+  if (!accepting_.load(std::memory_order_acquire)) return nullptr;
+  const std::size_t i = num_sessions_.load(std::memory_order_relaxed);
+  if (i >= opts_.max_sessions) return nullptr;
+  detail::TokenBucket* bucket = nullptr;
+  if (opts_.quota_ops_per_sec > 0) {
+    auto& slot = tenants_[tenant];
+    if (slot == nullptr) {
+      const double rate = static_cast<double>(opts_.quota_ops_per_sec);
+      const double burst = opts_.quota_burst != 0
+                               ? static_cast<double>(opts_.quota_burst)
+                               : rate;
+      slot = std::make_unique<detail::TokenBucket>(rate, burst);
+    }
+    bucket = slot.get();
+  }
+  sessions_.push_back(std::unique_ptr<Session>(new Session(
+      this, static_cast<std::uint32_t>(i), tenant, bucket,
+      opts_.queue_depth)));
+  num_sessions_.store(i + 1, std::memory_order_release);
+  return sessions_.back().get();
+}
+
+void KvService::Start() {
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  if (joined_ || started_.load(std::memory_order_acquire)) return;
+  for (std::size_t w = 0; w < num_workers_; ++w) {
+    workers_[w]->thread = std::thread([this, w] { WorkerLoop(w); });
+  }
+  started_.store(true, std::memory_order_release);
+}
+
+void KvService::Stop() {
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  if (joined_) return;
+  // Graceful-drain proof. (1) Fence out new submits: after this seq_cst
+  // store, any producer that has not yet raised pending_submits_ will see
+  // accepting_ == false and reject. (2) A producer already past its
+  // increment either rejects too or publishes its slot and then lowers
+  // pending_submits_; spinning that counter to zero therefore orders every
+  // successful tail_ publish before (3) the stopping_ store. A worker that
+  // observes stopping_ == true BEFORE a drain pass thus sees every admitted
+  // request in that pass — its empty final drain is definitive.
+  accepting_.store(false, std::memory_order_seq_cst);
+  while (pending_submits_.load(std::memory_order_acquire) != 0) {
+    CpuRelax();
+  }
+  stopping_.store(true, std::memory_order_seq_cst);
+  if (started_.load(std::memory_order_acquire)) {
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+  // Safety net for a service that was never Start()ed (or whose workers
+  // were clamped away from some sessions by a bug): nothing admitted may
+  // be left pending forever.
+  CompleteRemaining(ReqStatus::kShutdown);
+  started_.store(false, std::memory_order_release);
+  joined_ = true;
+}
+
+void KvService::WorkerLoop(std::size_t w) {
+  Worker& wk = *workers_[w];
+  const pm::ThreadStats start = pm::Stats();
+  std::vector<detail::Request>& reqs = wk.reqs;
+  std::uint32_t idle_spins = 0;
+  for (;;) {
+    reqs.clear();
+    // Load-before-drain: when this is true and the drain below comes up
+    // empty, every admitted request has been seen (Stop's proof above).
+    const bool stop_seen = stopping_.load(std::memory_order_acquire);
+    DrainAssigned(w, &reqs, opts_.max_batch);
+    if (reqs.empty()) {
+      if (stop_seen) break;
+      if (++idle_spins < 64) {
+        CpuRelax();
+      } else if (idle_spins < 128) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+      continue;
+    }
+    idle_spins = 0;
+    if (!opts_.scalar_dispatch && opts_.max_batch > 1) {
+      if (reqs.size() >= opts_.max_batch) {
+        ++wk.full;
+      } else if (!stop_seen) {
+        switch (GatherGroup(w, &reqs)) {
+          case FlushReason::kFull: ++wk.full; break;
+          case FlushReason::kTimeout: ++wk.timeout; break;
+          case FlushReason::kIdle: ++wk.idle; break;
+          case FlushReason::kStop: break;
+        }
+      }
+    }
+    ExecuteGroup(wk, reqs);
+  }
+  wk.pm_delta = pm::Stats() - start;
+}
+
+std::size_t KvService::DrainAssigned(std::size_t w,
+                                     std::vector<detail::Request>* out,
+                                     std::size_t budget) {
+  const std::size_t n = num_sessions_.load(std::memory_order_acquire);
+  std::size_t total = 0;
+  for (std::size_t i = w; i < n && total < budget; i += num_workers_) {
+    total += sessions_[i]->Drain(out, budget - total);
+  }
+  return total;
+}
+
+KvService::FlushReason KvService::GatherGroup(
+    std::size_t w, std::vector<detail::Request>* reqs) {
+  // Precondition: 0 < reqs->size() < max_batch. Hold the partial group for
+  // at most batch_timeout_us while requests keep arriving, but flush as
+  // soon as a few consecutive polls find the rings dry — waiting longer
+  // cannot grow the group, and this is what keeps a lone request's latency
+  // near scalar dispatch instead of a full timeout.
+  constexpr std::size_t kIdlePollLimit = 4;
+  const std::uint64_t deadline =
+      pm::NowNs() + opts_.batch_timeout_us * 1000;
+  std::size_t empty_polls = 0;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return FlushReason::kStop;
+    const std::size_t got =
+        DrainAssigned(w, reqs, opts_.max_batch - reqs->size());
+    if (reqs->size() >= opts_.max_batch) return FlushReason::kFull;
+    if (got == 0) {
+      if (++empty_polls >= kIdlePollLimit) return FlushReason::kIdle;
+    } else {
+      empty_polls = 0;
+    }
+    if (pm::NowNs() >= deadline) return FlushReason::kTimeout;
+    CpuRelax();
+  }
+}
+
+void KvService::ExecuteGroup(Worker& wk, std::vector<detail::Request>& reqs) {
+  const std::size_t n = reqs.size();
+  if (n == 0) return;
+  std::vector<ReqStatus>& st = wk.req_st;
+  st.assign(n, ReqStatus::kOk);
+  // One reader pin for the whole group; the index's own batch pins nest
+  // reentrantly inside it.
+  pm::EpochGuard guard;
+  if (opts_.scalar_dispatch) {
+    // Baseline shape: every request goes through the scalar entry points,
+    // one at a time — no descent interleaving, no shared grouped stalls.
+    for (std::size_t i = 0; i < n; ++i) {
+      const detail::Request& r = reqs[i];
+      switch (r.type) {
+        case detail::OpType::kGet: {
+          const Value v = index_->Search(r.key);
+          r.done->value_ = v;
+          st[i] = v == kNoValue ? ReqStatus::kNotFound : ReqStatus::kOk;
+          ++wk.gets;
+          break;
+        }
+        case detail::OpType::kPut: {
+          const core::Record rec{r.key, r.value};
+          InsertStatus is;
+          index_->InsertBatch(&rec, 1, &is);
+          st[i] = is == InsertStatus::kInserted ? ReqStatus::kInserted
+                                                : ReqStatus::kUpdated;
+          ++wk.puts;
+          break;
+        }
+        case detail::OpType::kDel:
+          st[i] = index_->Remove(r.key) ? ReqStatus::kOk
+                                        : ReqStatus::kNotFound;
+          ++wk.dels;
+          break;
+        case detail::OpType::kScan:
+          r.done->scan_n_ = static_cast<std::uint32_t>(
+              index_->Scan(r.key, r.scan_cap, r.scan_out));
+          ++wk.scans;
+          break;
+      }
+    }
+    wk.groups += n;  // each op is its own "group": AvgGroupOps stays 1
+  } else {
+    // Writes before reads (header ordering contract), each class through
+    // its batch entry point so the sharded adapters route per shard and
+    // the core tree interleaves descents.
+    std::vector<core::Record>& put_recs = wk.put_recs;
+    std::vector<std::uint32_t>& put_pos = wk.put_pos;
+    put_recs.clear();
+    put_pos.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reqs[i].type == detail::OpType::kPut) {
+        put_recs.push_back({reqs[i].key, reqs[i].value});
+        put_pos.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    if (!put_recs.empty()) {
+      wk.put_st.resize(put_recs.size());
+      index_->InsertBatch(put_recs.data(), put_recs.size(),
+                          wk.put_st.data());
+      for (std::size_t j = 0; j < put_pos.size(); ++j) {
+        st[put_pos[j]] = wk.put_st[j] == InsertStatus::kInserted
+                             ? ReqStatus::kInserted
+                             : ReqStatus::kUpdated;
+      }
+      wk.puts += put_recs.size();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reqs[i].type == detail::OpType::kDel) {
+        st[i] = index_->Remove(reqs[i].key) ? ReqStatus::kOk
+                                            : ReqStatus::kNotFound;
+        ++wk.dels;
+      }
+    }
+    std::vector<Key>& get_keys = wk.get_keys;
+    std::vector<std::uint32_t>& get_pos = wk.get_pos;
+    get_keys.clear();
+    get_pos.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reqs[i].type == detail::OpType::kGet) {
+        get_keys.push_back(reqs[i].key);
+        get_pos.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    if (!get_keys.empty()) {
+      wk.get_vals.resize(get_keys.size());
+      index_->SearchBatch(get_keys.data(), get_keys.size(),
+                          wk.get_vals.data());
+      for (std::size_t j = 0; j < get_pos.size(); ++j) {
+        const Value v = wk.get_vals[j];
+        reqs[get_pos[j]].done->value_ = v;
+        st[get_pos[j]] =
+            v == kNoValue ? ReqStatus::kNotFound : ReqStatus::kOk;
+      }
+      wk.gets += get_keys.size();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reqs[i].type == detail::OpType::kScan) {
+        reqs[i].done->scan_n_ = static_cast<std::uint32_t>(
+            index_->Scan(reqs[i].key, reqs[i].scan_cap, reqs[i].scan_out));
+        ++wk.scans;
+      }
+    }
+    wk.groups += 1;
+  }
+  // One clock read per group; the status store is the publication point
+  // for every result field written above.
+  const std::uint64_t now = pm::NowNs();
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].done->complete_ns_ = now;
+    reqs[i].done->status_.store(st[i], std::memory_order_release);
+  }
+  wk.executed += n;
+}
+
+void KvService::CompleteRemaining(ReqStatus status) {
+  const std::size_t n = num_sessions_.load(std::memory_order_acquire);
+  std::vector<detail::Request> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs.clear();
+    while (sessions_[i]->Drain(&reqs, 256) != 0) {
+      for (const detail::Request& r : reqs) {
+        r.done->complete_ns_ = 0;
+        r.done->status_.store(status, std::memory_order_release);
+      }
+      reqs.clear();
+    }
+  }
+}
+
+ServiceStats KvService::Stats() const {
+  // Worker counters are single-writer plain fields; reading them while the
+  // service runs gives a racy-but-monotonic snapshot, exact after Stop().
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    s.executed += w->executed;
+    s.gets += w->gets;
+    s.puts += w->puts;
+    s.dels += w->dels;
+    s.scans += w->scans;
+    s.groups += w->groups;
+    s.full_flushes += w->full;
+    s.timeout_flushes += w->timeout;
+    s.idle_flushes += w->idle;
+    s.pm += w->pm_delta;
+  }
+  return s;
+}
+
+}  // namespace fastfair::server

@@ -224,6 +224,55 @@ TEST(BatchOps, InsertBatchRacesOnConcurrentWriters) {
   }
 }
 
+TEST(BatchOps, InsertBatchReportsInsertVersusUpdate) {
+  // Per-op status plumbing: fresh keys report kInserted, upserts report
+  // kUpdated, and a duplicate later in the SAME batch sees the earlier
+  // entry (batch order is the contract). Exercised on the core tree
+  // (native path) first, then through every registry adapter — sharded
+  // scatter, hashed scatter, and the probe-based default loop alike.
+  {
+    pm::Pool pool(std::size_t{256} << 20);
+    core::BTree tree(&pool);
+    std::vector<core::Record> ops;
+    for (Key k = 10; k <= 100; k += 10) ops.push_back({k, ValueFor(k)});
+    ops.push_back({30, 999});  // duplicate within the batch
+    std::vector<InsertStatus> st(ops.size());
+    tree.InsertBatch(ops.data(), ops.size(), st.data());
+    for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+      EXPECT_EQ(st[i], InsertStatus::kInserted) << i;
+    }
+    EXPECT_EQ(st.back(), InsertStatus::kUpdated);
+    EXPECT_EQ(tree.Search(30), 999u);
+  }
+  for (const auto& kind : AllIndexKinds()) {
+    pm::Pool pool(std::size_t{256} << 20);
+    auto idx = MakeIndex(kind, &pool);
+    // Enough keys to force structural splits under the fresh batch.
+    std::vector<core::Record> fresh;
+    for (Key k = 1; k <= 2000; ++k) fresh.push_back({k * 3, ValueFor(k * 3)});
+    std::vector<InsertStatus> st(fresh.size());
+    idx->InsertBatch(fresh.data(), fresh.size(), st.data());
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      EXPECT_EQ(st[i], InsertStatus::kInserted) << kind << " op " << i;
+    }
+    // Upsert half of them, interleaved with new keys: statuses must track
+    // per op, not per batch.
+    std::vector<core::Record> mixed;
+    for (Key k = 1; k <= 200; ++k) {
+      mixed.push_back({k * 3, ValueFor(k * 3) + 1});  // exists -> update
+      mixed.push_back({k * 3 + 1, ValueFor(k * 3 + 1)});  // fresh -> insert
+    }
+    st.assign(mixed.size(), InsertStatus::kInserted);
+    idx->InsertBatch(mixed.data(), mixed.size(), st.data());
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+      const auto want =
+          i % 2 == 0 ? InsertStatus::kUpdated : InsertStatus::kInserted;
+      EXPECT_EQ(st[i], want) << kind << " op " << i;
+      EXPECT_EQ(idx->Search(mixed[i].key), mixed[i].ptr) << kind;
+    }
+  }
+}
+
 TEST(BatchOps, DefaultAdapterCoversEveryRegisteredKind) {
   // The virtual batch entry points must behave for kinds without a native
   // pipeline too (default loop adapter).

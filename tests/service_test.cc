@@ -1,0 +1,414 @@
+// KV service tier (DESIGN.md §10): batch-formation equivalence against
+// scalar dispatch across every registry kind, admission control (queue
+// backpressure + per-tenant quota), partial-group flush policy
+// (deadline and empty-poll paths), deterministic cross-client group
+// formation, the worker clamp for non-concurrent kinds, and the
+// multi-client shutdown race (the ASan job's main target here).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench/workload.h"
+#include "common/rng.h"
+#include "index/index.h"
+#include "pm/persist.h"
+#include "server/service.h"
+
+namespace fastfair {
+namespace {
+
+using server::Completion;
+using server::KvService;
+using server::ReqStatus;
+using server::ServiceOptions;
+using server::Session;
+
+Value V1(Key k) { return 2 * k + 1; }
+Value V2(Key k) { return 2 * k + 5; }
+
+void WaitAll(std::vector<Completion>& cs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) cs[i].Wait();
+}
+
+void ResetAll(std::vector<Completion>& cs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) cs[i].Reset();
+}
+
+// Drives one service through scripted rounds — pipelined submissions,
+// waits between rounds — checking every per-op status and value against
+// what the rounds imply. Run for both dispatch modes over every kind, this
+// IS the batch-formation equivalence check: grouped execution must be
+// observationally identical to scalar dispatch at round boundaries.
+void RunScript(Index* idx, bool scalar) {
+  SCOPED_TRACE(std::string(idx->name()) +
+               (scalar ? " scalar" : " batched"));
+  ServiceOptions so;
+  so.workers = 2;
+  so.queue_depth = 512;
+  so.max_batch = 16;
+  so.batch_timeout_us = 50;
+  so.scalar_dispatch = scalar;
+  KvService svc(idx, so);
+  Session* s = svc.OpenSession();
+  ASSERT_NE(s, nullptr);
+  svc.Start();
+
+  const std::size_t kN = 200;
+  const auto keys = bench::UniformKeys(kN, 42);
+  std::vector<Completion> cs(kN);
+
+  // Round 1: fresh puts — every status kInserted.
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s->Put(keys[i], V1(keys[i]), &cs[i]));
+  }
+  WaitAll(cs, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(cs[i].status(), ReqStatus::kInserted) << i;
+  }
+  ResetAll(cs, kN);
+
+  // Round 2: gets — every value as written.
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s->Get(keys[i], &cs[i]));
+  }
+  WaitAll(cs, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(cs[i].status(), ReqStatus::kOk) << i;
+    EXPECT_EQ(cs[i].value(), V1(keys[i])) << i;
+  }
+  ResetAll(cs, kN);
+
+  // Round 3: upserts — every status kUpdated, values move to V2.
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s->Put(keys[i], V2(keys[i]), &cs[i]));
+  }
+  WaitAll(cs, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(cs[i].status(), ReqStatus::kUpdated) << i;
+  }
+  ResetAll(cs, kN);
+
+  // Round 4: delete the even positions — kOk now, kNotFound on repeat.
+  // (Only the even completions are armed; wait on exactly those.)
+  for (std::size_t i = 0; i < kN; i += 2) {
+    ASSERT_TRUE(s->Del(keys[i], &cs[i]));
+  }
+  for (std::size_t i = 0; i < kN; i += 2) {
+    EXPECT_EQ(cs[i].Wait(), ReqStatus::kOk) << i;
+    cs[i].Reset();
+    ASSERT_TRUE(s->Del(keys[i], &cs[i]));
+  }
+  for (std::size_t i = 0; i < kN; i += 2) {
+    EXPECT_EQ(cs[i].Wait(), ReqStatus::kNotFound) << i;
+  }
+  ResetAll(cs, kN);
+
+  // Round 5: mixed pipelined batch — gets of survivors and victims.
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s->Get(keys[i], &cs[i]));
+  }
+  WaitAll(cs, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(cs[i].status(), ReqStatus::kNotFound) << i;
+      EXPECT_EQ(cs[i].value(), kNoValue) << i;
+    } else {
+      EXPECT_EQ(cs[i].status(), ReqStatus::kOk) << i;
+      EXPECT_EQ(cs[i].value(), V2(keys[i])) << i;
+    }
+  }
+  ResetAll(cs, kN);
+
+  // Round 6: a scan through the service sees exactly the survivors.
+  std::vector<core::Record> out(kN + 8);
+  ASSERT_TRUE(s->Scan(0, static_cast<std::uint32_t>(out.size()), out.data(),
+                      &cs[0]));
+  EXPECT_EQ(cs[0].Wait(), ReqStatus::kOk);
+  EXPECT_EQ(cs[0].scan_count(), kN / 2);
+  for (std::uint32_t i = 0; i < cs[0].scan_count(); ++i) {
+    EXPECT_EQ(out[i].ptr, V2(out[i].key)) << i;
+    if (i > 0) {
+      EXPECT_GT(out[i].key, out[i - 1].key) << i;
+    }
+  }
+
+  svc.Stop();
+  const auto st = svc.Stats();
+  EXPECT_EQ(st.executed, st.submitted);
+  EXPECT_EQ(st.rejected_queue_full, 0u);
+  if (scalar) {
+    EXPECT_DOUBLE_EQ(st.AvgGroupOps(), 1.0);
+  }
+}
+
+TEST(Service, EquivalenceAcrossEveryKindAndDispatchMode) {
+  for (const auto& kind : AllIndexKinds()) {
+    for (const bool scalar : {true, false}) {
+      pm::Pool pool(std::size_t{256} << 20);
+      auto idx = MakeIndex(kind, &pool);
+      RunScript(idx.get(), scalar);
+    }
+  }
+}
+
+TEST(Service, CrossClientGroupFormationIsDeterministicWhenPrefilled) {
+  // Rings filled BEFORE Start: the single worker's first drain sweeps all
+  // four clients' requests into max_batch-sized groups — cross-client
+  // formation with no timing dependence at all.
+  pm::Pool pool(std::size_t{256} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_depth = 128;
+  so.max_batch = 64;
+  KvService svc(idx.get(), so);
+  std::vector<Session*> sessions;
+  for (int c = 0; c < 4; ++c) sessions.push_back(svc.OpenSession());
+  const std::size_t kPer = 100;
+  std::vector<Completion> cs(4 * kPer);  // Completion is pinned: flat array
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < kPer; ++i) {
+      const Key k = static_cast<Key>(c) * 1000 + i + 1;
+      ASSERT_TRUE(sessions[c]->Put(k, V1(k), &cs[c * kPer + i]));
+    }
+  }
+  svc.Start();
+  WaitAll(cs, 4 * kPer);
+  svc.Stop();
+  const auto st = svc.Stats();
+  EXPECT_EQ(st.executed, 4 * kPer);
+  EXPECT_GE(st.full_flushes, 1u);       // 400 queued ops vs max_batch 64
+  EXPECT_GT(st.AvgGroupOps(), 2.0);     // grouping actually happened
+  EXPECT_LT(st.groups, st.executed);
+  EXPECT_EQ(idx->CountEntries(), 4 * kPer);
+}
+
+TEST(Service, QueueFullBackpressureAndDrainOnStop) {
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_depth = 4;
+  KvService svc(idx.get(), so);
+  Session* s = svc.OpenSession();
+  std::vector<Completion> cs(10);
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Key k = static_cast<Key>(i) + 1;
+    if (s->Put(k, V1(k), &cs[i])) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(cs[i].status(), ReqStatus::kRejectedQueueFull) << i;
+    }
+  }
+  EXPECT_EQ(admitted, 4);  // ring capacity, exactly
+  // Start-then-Stop must still execute everything admitted (graceful
+  // drain), even with the stop racing the workers' first drain.
+  svc.Start();
+  svc.Stop();
+  for (int i = 0; i < admitted; ++i) {
+    EXPECT_EQ(cs[i].status(), ReqStatus::kInserted) << i;
+  }
+  const auto st = svc.Stats();
+  EXPECT_EQ(st.executed, 4u);
+  EXPECT_EQ(st.rejected_queue_full, 6u);
+}
+
+TEST(Service, PerTenantQuotaMetersSharedBucket) {
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.workers = 1;
+  so.quota_ops_per_sec = 1;  // burst defaults to the rate: one token
+  KvService svc(idx.get(), so);
+  Session* a1 = svc.OpenSession(/*tenant=*/7);
+  Session* a2 = svc.OpenSession(/*tenant=*/7);  // same bucket
+  Session* b = svc.OpenSession(/*tenant=*/8);   // its own bucket
+  std::vector<Completion> cs(6);
+  int admitted = 0;
+  for (int i = 0; i < 6; ++i) {
+    Session* s = i % 2 == 0 ? a1 : a2;
+    const Key k = static_cast<Key>(i) + 1;
+    if (s->Put(k, V1(k), &cs[i])) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(cs[i].status(), ReqStatus::kRejectedQuota) << i;
+    }
+  }
+  // One token in the shared bucket; the refill across the few microseconds
+  // of this loop cannot mint another (rate = 1/s).
+  EXPECT_EQ(admitted, 1);
+  Completion cb;
+  EXPECT_TRUE(b->Put(1000, V1(1000), &cb));  // tenant 8 unaffected
+  svc.Start();
+  svc.Stop();
+  const auto st = svc.Stats();
+  EXPECT_EQ(st.rejected_quota, 5u);
+  EXPECT_EQ(st.executed, 2u);
+}
+
+TEST(Service, PartialGroupFlushesOnDeadline) {
+  // batch_timeout_us = 0 pins the deadline to "now": every gathered group
+  // flushes through the timeout path on its first poll, so the counter
+  // proves the deadline machinery runs without any timing dependence.
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_depth = 256;
+  so.max_batch = 1024;  // far above the op count: never a full flush
+  so.batch_timeout_us = 0;
+  KvService svc(idx.get(), so);
+  Session* s = svc.OpenSession();
+  std::vector<Completion> cs(100);
+  for (int i = 0; i < 100; ++i) {
+    const Key k = static_cast<Key>(i) + 1;
+    ASSERT_TRUE(s->Put(k, V1(k), &cs[i]));
+  }
+  svc.Start();
+  WaitAll(cs, 100);
+  svc.Stop();
+  const auto st = svc.Stats();
+  EXPECT_EQ(st.executed, 100u);
+  EXPECT_EQ(st.full_flushes, 0u);
+  EXPECT_GE(st.timeout_flushes, 1u);
+}
+
+TEST(Service, LoneRequestFlushesOnEmptyPoll) {
+  // The low-load tail-latency mechanism: a lone request must not wait out
+  // the (here: enormous) batch timeout — the empty-poll pass flushes it.
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.workers = 1;
+  so.max_batch = 1024;
+  so.batch_timeout_us = 5'000'000;  // 5 s: a deadline flush would hang
+  KvService svc(idx.get(), so);
+  Session* s = svc.OpenSession();
+  svc.Start();
+  Completion c;
+  ASSERT_TRUE(s->Put(1, V1(1), &c));
+  EXPECT_EQ(c.Wait(), ReqStatus::kInserted);  // returns well before 5 s
+  svc.Stop();
+  const auto st = svc.Stats();
+  EXPECT_EQ(st.executed, 1u);
+  EXPECT_GE(st.idle_flushes + st.timeout_flushes, 1u);
+  EXPECT_GE(st.idle_flushes, 1u);
+}
+
+TEST(Service, NonConcurrentKindClampsToOneWorker) {
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("wbtree", &pool);
+  ASSERT_FALSE(idx->supports_concurrency());
+  ServiceOptions so;
+  so.workers = 8;
+  KvService svc(idx.get(), so);
+  EXPECT_EQ(svc.workers(), 1u);
+  Session* s = svc.OpenSession();
+  svc.Start();
+  Completion c;
+  ASSERT_TRUE(s->Put(1, V1(1), &c));
+  EXPECT_EQ(c.Wait(), ReqStatus::kInserted);
+  svc.Stop();
+}
+
+TEST(Service, SessionTableCapacityIsEnforced) {
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.max_sessions = 2;
+  KvService svc(idx.get(), so);
+  EXPECT_NE(svc.OpenSession(), nullptr);
+  EXPECT_NE(svc.OpenSession(), nullptr);
+  EXPECT_EQ(svc.OpenSession(), nullptr);
+}
+
+TEST(Service, MultiClientShutdownRace) {
+  // Four clients hammer the service while the main thread Stops it.
+  // Contract under test: a submit that returned true NEVER resolves to
+  // kShutdown or stays kPending (admitted work is executed); a submit
+  // after the fence returns false with kShutdown; nothing crashes or
+  // leaks (the ASan job runs this test).
+  pm::Pool pool(std::size_t{512} << 20);
+  auto idx = MakeIndex("sharded-fastfair:4", &pool);
+  ServiceOptions so;
+  so.workers = 2;
+  so.queue_depth = 64;
+  so.max_batch = 32;
+  KvService svc(idx.get(), so);
+  std::vector<Session*> sessions;
+  for (int c = 0; c < 4; ++c) sessions.push_back(svc.OpenSession());
+  svc.Start();
+
+  std::atomic<std::uint64_t> bad_status{0};
+  std::atomic<std::uint64_t> admitted_total{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Session* s = sessions[c];
+      constexpr std::size_t kWin = 64;
+      std::vector<Completion> win(kWin);
+      bool armed[kWin] = {};  // slot holds an admitted, un-waited op
+      std::uint64_t n = 0;
+      Rng rng(static_cast<std::uint64_t>(c) + 1);
+      bool stopped = false;
+      while (!stopped) {
+        const std::size_t slot = n % kWin;
+        Completion& cmp = win[slot];
+        if (armed[slot]) {
+          const ReqStatus st = cmp.Wait();
+          if (st == ReqStatus::kShutdown || st == ReqStatus::kPending) {
+            bad_status.fetch_add(1);
+          }
+          cmp.Reset();
+          armed[slot] = false;
+        }
+        for (;;) {
+          const Key k = (rng.Next() | 1);
+          if (s->Put(k, V1(k), &cmp)) {
+            armed[slot] = true;
+            ++n;
+            break;
+          }
+          if (cmp.status() == ReqStatus::kShutdown) {
+            stopped = true;
+            break;
+          }
+          cmp.Reset();  // queue full: shed and retry
+          std::this_thread::yield();
+        }
+      }
+      for (std::size_t slot = 0; slot < kWin; ++slot) {
+        if (!armed[slot]) continue;
+        const ReqStatus st = win[slot].Wait();
+        if (st == ReqStatus::kShutdown || st == ReqStatus::kPending) {
+          bad_status.fetch_add(1);
+        }
+      }
+      admitted_total.fetch_add(n);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  svc.Stop();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(bad_status.load(), 0u);
+  const auto st = svc.Stats();
+  EXPECT_EQ(st.executed, admitted_total.load());
+  EXPECT_EQ(st.executed, st.submitted);
+  // The post-fence rejections the clients observed are accounted.
+  EXPECT_GE(st.rejected_shutdown, 4u);
+
+  // Stop is idempotent, and a session keeps rejecting after it.
+  svc.Stop();
+  Completion late;
+  EXPECT_FALSE(sessions[0]->Get(1, &late));
+  EXPECT_EQ(late.status(), ReqStatus::kShutdown);
+}
+
+}  // namespace
+}  // namespace fastfair
