@@ -19,17 +19,22 @@
 //
 // --maintenance replaces the foreground Rebalance() call with the
 // background policy loop (DESIGN.md §6): after load, a MaintenanceThread
-// watches the sampled histograms and rebalances on its own; the bench
-// waits for the scheduler to report itself idle and then gates that the
-// imbalance converged to <= --rebalance-threshold (default 1.2) with zero
-// lost keys — no foreground rebalance call anywhere on that path.
+// watches the sampled histograms and rebalances on its own — while a
+// writer thread keeps upserting over the loaded keys (always-on
+// maintenance: migration dual-routes live writers; there is no quiesced
+// window). The bench waits for the scheduler to report itself idle and
+// then gates that the imbalance converged to <= --rebalance-threshold
+// (default 1.2) with zero lost keys — no foreground rebalance call (and
+// no writer barrier) anywhere on that path.
 //
 // --skew sets theta (default 0.99, the YCSB constant); --shards the shard
 // count. EXPERIMENTS.md ("Skewed workloads") records measured ratios.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/options.h"
@@ -110,15 +115,39 @@ int main(int argc, char** argv) {
     const pm::ThreadStats before = pm::Stats();
     if (opt.maintenance) {
       // Background path: the policy task must close the loop by itself —
-      // the bench never calls Rebalance(). Writers are quiesced (the load
-      // is done), which is the policy task's contract.
+      // the bench never calls Rebalance(). Writers stay LIVE throughout:
+      // always-on maintenance means the migration dual-routes racing
+      // writers rather than waiting for a quiesced window, so a writer
+      // thread upserts over the loaded key set the whole time the policy
+      // loop watches, triggers, and migrates. Upserts over loaded keys
+      // keep the entry count constant, so the zero-lost-keys gate below
+      // stays exact even with the race running.
       maint::TaskOptions topts;
       topts.rebalance_threshold = opt.rebalance_threshold;
       auto mt = maint::MakeMaintenanceThread(
           &pool, {idx.get()}, topts,
           std::chrono::microseconds(opt.maint_interval_us));
       mt->Start();
+      std::atomic<bool> stop_writer{false};
+      std::atomic<std::uint64_t> writer_ops{0};
+      std::thread writer([&] {
+        Rng rng(opt.seed ^ 0x11feull);
+        std::uint64_t ops = 0;
+        while (!stop_writer.load(std::memory_order_relaxed)) {
+          // Uniform over the loaded SET (not the zipfian universe): the
+          // per-shard upsert overcount then scales every shard's counter
+          // by the same factor, so the approximate imbalance signal the
+          // policy reads keeps its shape instead of being re-skewed by
+          // the writer itself.
+          const Key k = keys[rng.NextBounded(keys.size())];
+          idx->Insert(k, bench::ValueFor(k));
+          ++ops;
+        }
+        writer_ops.fetch_add(ops, std::memory_order_relaxed);
+      });
       const bool idle = mt->WaitIdle(std::chrono::milliseconds(60000));
+      stop_writer.store(true, std::memory_order_relaxed);
+      writer.join();
       mt->Stop();
       std::uint64_t rebalances = 0;
       for (const auto& rep : mt->StatsSnapshot()) {
@@ -135,6 +164,12 @@ int main(int argc, char** argv) {
                                       (1024.0 * 1024.0))});
       if (!idle) {
         std::fprintf(stderr, "FAIL: maintenance never reached idle\n");
+        ok = false;
+      }
+      if (writer_ops.load() == 0) {
+        std::fprintf(stderr,
+                     "FAIL: live writer made no progress during the "
+                     "background rebalance\n");
         ok = false;
       }
       if (rebalances == 0) {

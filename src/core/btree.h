@@ -65,11 +65,13 @@ struct Options {
   // parent routes repaired lazily; the repairer that removes the last
   // persistent route returns the node to the pool's free lists, where
   // concurrent readers are covered by epoch-based deferral (DESIGN.md
-  // §3.1). Verified by tests/btree_merge_test for single-writer workloads
-  // and by the delete-churn tests; the multi-writer interaction of
-  // unlinking with concurrent structural changes is not yet proven, so the
-  // feature is opt-in (without it empty leaves are simply tolerated,
-  // exactly as the authors' reference implementation does).
+  // §3.1). Verified by tests/btree_merge_test and the delete-churn tests;
+  // multi-writer unlinking is covered by the split/unlink interlock (a
+  // dead-child re-check under the parent lock in InsertInternal /
+  // SplitAndInsert, plus lock-protected fence lowering) and proven by the
+  // seeded race sweep in tests/concurrent_mutation_test.cc. The feature
+  // stays opt-in only because unreclaimed trees skip the epoch pin on the
+  // read path (the paper-reproduction configuration must stay untouched).
   bool reclaim_empty_leaves = false;
 };
 
@@ -169,10 +171,10 @@ class BTreeT {
   /// waiting for a writer. Returns the resume cursor; `wrapped` means the
   /// chain's live tail was passed and the next call should restart at 0.
   /// Requires Options::reclaim_empty_leaves (no-op otherwise, reported as
-  /// wrapped). Structural writes: same single-writer contract as the
-  /// reclaim paths themselves — run from the one maintenance thread while
-  /// foreground writers are quiesced; concurrent readers are safe (the
-  /// quantum pins the reclamation epoch like any writer op).
+  /// wrapped). Safe under live foreground writers: the quantum takes the
+  /// same per-leaf locks as any writer op and the split/unlink interlock
+  /// keeps concurrent splits from re-linking a node mid-reclaim; readers
+  /// are covered by the epoch pin the quantum holds.
   struct SweepResult {
     Key next_cursor = 0;       // pass back on the next call
     bool wrapped = false;      // swept past the last live key; restart at 0
@@ -284,7 +286,7 @@ class BTreeT {
   /// SearchInternal's degenerate fallback and, once inserted below a stale
   /// fence, invert key-vs-chain order after a split. Recursively lowers
   /// records[0].key down the leftmost-child spine (8-byte atomic stores).
-  void LowerFence(NodeT* c, Key low);
+  bool LowerFence(NodeT* c, Key low);
 
   /// Walks level `level`'s sibling chain across the parents covering
   /// [lo, hi]: cleans dead routes in each, unlinks nodes whose children

@@ -147,8 +147,12 @@ typename BTreeT<P>::NodeT* BTreeT<P>::FindLeaf(Key key) const {
   // FAST+FAIR and FP-tree at 300 ns (Fig 5(b)) pins this calibration.
   if (n->is_leaf()) pm::AnnotateRead(n);
   while (!n->is_leaf()) {
-    while (Ops::ShouldMoveRight(m, n, key, detail::ResolveNode<NodeT>)) {
-      n = AsNode(Ops::LoadSibling(m, n));
+    // Hop on the fence-validated pointer itself: re-loading the sibling
+    // after the check can land on a newly split/unlinked node whose fence
+    // exceeds the key (overshoot has no recovery — walks only go right).
+    for (std::uint64_t su;
+         (su = Ops::MoveRightTarget(m, n, key, detail::ResolveNode<NodeT>));) {
+      n = AsNode(su);
     }
     n = AsNode(child_search_(m, n, key));
     // Hand-over-hand prefetch: the child's leading lines start fetching
@@ -183,8 +187,9 @@ void BTreeT<P>::DescendGroup(const Key* keys, std::size_t g,
     for (std::size_t j = 0; j < g; ++j) {
       NodeT* n = cur[j];
       if (n->is_leaf()) continue;
-      while (Ops::ShouldMoveRight(m, n, keys[j], detail::ResolveNode<NodeT>)) {
-        n = AsNode(Ops::LoadSibling(m, n));
+      for (std::uint64_t su; (su = Ops::MoveRightTarget(
+                                  m, n, keys[j], detail::ResolveNode<NodeT>));) {
+        n = AsNode(su);
       }
       NodeT* child = AsNode(child_search_(m, n, keys[j]));
       PrefetchNode(child);
@@ -209,8 +214,9 @@ typename BTreeT<P>::NodeT* BTreeT<P>::LockCovering(NodeT* n, Key key) {
     RemoveChildFromParent(n, parent_level, key);
     return nullptr;
   }
-  while (Ops::ShouldMoveRight(m, n, key, detail::ResolveNode<NodeT>)) {
-    NodeT* next = AsNode(Ops::LoadSibling(m, n));
+  for (std::uint64_t su;
+       (su = Ops::MoveRightTarget(m, n, key, detail::ResolveNode<NodeT>));) {
+    NodeT* next = AsNode(su);
     const std::uint16_t parent_level = n->hdr.level + 1;
     n->hdr.lock.unlock();
     // Having to move right means the sibling may be missing from the parent
@@ -228,6 +234,15 @@ typename BTreeT<P>::NodeT* BTreeT<P>::LockCovering(NodeT* n, Key key) {
       return nullptr;
     }
     n = next;
+  }
+  if (Ops::LoadFence(m, n) > key) {
+    // Overshoot guard: an unlocked descent that hopped past the key's range
+    // (e.g. it raced a split and followed a stale pointer) must not commit
+    // here — an insert below the node's fence is permanently unroutable.
+    // Fences only decrease, so a fence read under the lock is conclusive;
+    // the leftmost node's fence is 0 and can never trip this.
+    n->hdr.lock.unlock();
+    return nullptr;
   }
   return n;
 }
@@ -327,10 +342,10 @@ Value BTreeT<P>::SearchInLeaf(NodeT* n, Key key) const {
       v = leaf_search_(m, n, key);
     }
     if (v != kNoValue) return v;
-    if (!Ops::ShouldMoveRight(m, n, key, detail::ResolveNode<NodeT>)) {
-      return kNoValue;
-    }
-    n = AsNode(Ops::LoadSibling(m, n));
+    const std::uint64_t su =
+        Ops::MoveRightTarget(m, n, key, detail::ResolveNode<NodeT>);
+    if (su == 0) return kNoValue;
+    n = AsNode(su);
     pm::AnnotateRead(n);
   }
 }
@@ -375,6 +390,17 @@ void BTreeT<P>::ClearLog() {
 template <std::size_t P>
 void BTreeT<P>::SplitAndInsert(NodeT* node, Key key, std::uint64_t down) {
   RealMem m;
+  // Internal split: `down` is a child pointer. Same unlink interlock as
+  // InsertInternal's locked check — we hold `node`'s lock, so either the
+  // dead mark is already visible here, or the marker's repair pass has not
+  // yet visited `node`/`sib` and will remove the route we are about to
+  // insert. Splitting just to park a dead route would be pure waste, so
+  // bail while the node is still intact.
+  if (!node->is_leaf() &&
+      Ops::IsDead(m, detail::ResolveNode<NodeT>(down))) {
+    node->hdr.lock.unlock();
+    return;
+  }
   const bool logging = opts_.rebalance == RebalanceMode::kLogging;
   if (logging) LogNodeImage(node);
 
@@ -384,7 +410,7 @@ void BTreeT<P>::SplitAndInsert(NodeT* node, Key key, std::uint64_t down) {
   sib->hdr.lock.lock();  // unreachable until CommitSplit publishes it
   Ops::SplitCopy(m, node, sib, median, cnt);
   Ops::CommitSplit(m, node, sib, median);
-  const Key sep = Ops::LoadKeyAt(m, sib, 0);
+  const Key sep = Ops::LoadFence(m, sib);  // == the copied median key
 
   if (key < sep) {
     Ops::InsertKey(m, node, key, down);
@@ -403,6 +429,12 @@ void BTreeT<P>::InsertInternal(Key sep, NodeT* right, std::uint16_t level) {
   RealMem m;
   const auto right_u = reinterpret_cast<std::uint64_t>(right);
   for (;;) {
+    // Unlink interlock, entry check: never start publishing a route to a
+    // node another writer has emptied and unlinked (resurrecting it would
+    // route readers into memory already claimed by the reclaimer). The
+    // airtight check is the one below, under the parent's lock; this one
+    // just cuts the common case short.
+    if (Ops::IsDead(m, right)) return;
     NodeT* root = Root();
     if (root->hdr.level < level) {
       // The node that split was the root: grow the tree by one level.
@@ -410,20 +442,39 @@ void BTreeT<P>::InsertInternal(Key sep, NodeT* right, std::uint16_t level) {
       Ops::StoreLeftmost(m, nr, reinterpret_cast<std::uint64_t>(root));
       Ops::InsertKey(m, nr, sep, right_u);
       pm::Persist(nr, sizeof(NodeT));
-      if (CasRoot(root, nr)) return;
+      if (CasRoot(root, nr)) {
+        // No parent lock serialized this publish against the unlinker, so
+        // the entry check above is not airtight here: if `right` died
+        // between the check and the CAS, the repairer's pass may have run
+        // against the *old* root and missed the route we just published.
+        // Re-check now that the root is visible and clean up after
+        // ourselves (idempotent — racing repairers serialize per node).
+        if (Ops::IsDead(m, right)) RepairDeadRoutes(level, sep, sep);
+        return;
+      }
       continue;  // lost the race; retry against the new root
     }
     // Descend (lock-free) to the target level.
     NodeT* n = root;
     while (n->hdr.level > level) {
-      while (Ops::ShouldMoveRight(m, n, sep, detail::ResolveNode<NodeT>)) {
-        n = AsNode(Ops::LoadSibling(m, n));
+      for (std::uint64_t su; (su = Ops::MoveRightTarget(
+                                  m, n, sep, detail::ResolveNode<NodeT>));) {
+        n = AsNode(su);
       }
       n = AsNode(child_search_(m, n, sep));
     }
     n = LockCovering(n, sep);
     if (n == nullptr) continue;  // hopped into a dead node; retry from root
     Ops::FixNode(m, n, detail::ResolveNode<NodeT>);
+    // Unlink interlock, the airtight half: route removal (CleanDeadRoutes)
+    // runs under this parent's lock, and the dead mark is sequenced before
+    // the marker's repair pass. Either that pass visits `n` after our
+    // insert (and removes the route), or it completed before we acquired
+    // the lock — in which case the mark is visible here and we bail.
+    if (Ops::IsDead(m, right)) {
+      n->hdr.lock.unlock();
+      return;
+    }
     // Idempotence: a concurrent/crashed completion may have beaten us.
     bool present = Ops::LoadLeftmost(m, n) == right_u;
     const int cnt = Ops::CountRaw(m, n);
@@ -453,7 +504,11 @@ void BTreeT<P>::AdoptSibling(NodeT* right, std::uint16_t parent_level) {
   if (Ops::IsDead(m, right)) return;
   const int first = Ops::HasHoleAtZero(m, right) ? 1 : 0;
   if (Ops::LoadPtrAt(m, right, first) == 0) return;  // empty: nothing to adopt
-  const Key fence = Ops::LoadKeyAt(m, right, first);
+  // The separator is the node's persistent low fence, not its first key:
+  // deletes may have removed the low end of its range, and a first-key
+  // separator would route the [fence, first key) gap to the left child
+  // while the chain mapping assigns it here.
+  const Key fence = Ops::LoadFence(m, right);
   if (Root()->hdr.level < parent_level) {
     // `right` is a sibling of the current root; AdoptRootChain-style growth
     // happens through InsertInternal's root path.
@@ -488,10 +543,10 @@ int BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
       // right sibling for the route repair.) A key at or right of the stop
       // node bounds the run from above: every unlinked leaf's range lies
       // below it, so [op_key, hint] spans every parent holding one of the
-      // run's separators. If the stop node itself is empty (rightmost, a
-      // dead remnant, or the kMaxRun cap landed on one), read on along the
-      // chain for the first key — best-effort and unlocked, purely a
-      // routing hint. With no key anywhere to the right — the level's
+      // run's separators. The hint is the first live stop node's persistent
+      // low fence (valid even for an empty node); only a dead remnant makes
+      // the probe read on along the chain — best-effort and unlocked,
+      // purely a routing hint. With no live node anywhere to the right — the level's
       // whole tail drained, e.g. a sliding-window workload leaving a key
       // range for good, the case that strands unboundedly if deferred
       // (bench_micro_churn's hashed/sharded kinds) — fall back to an open
@@ -501,9 +556,11 @@ int BTreeT<P>::TryUnlinkEmptySibling(NodeT* n, Key op_key) {
       s->hdr.lock.unlock();
       NodeT* probe = s;
       for (int hops = 0; probe != nullptr && hops < 4 * kMaxRun; ++hops) {
-        if (!Ops::IsDead(m, probe) && Ops::CountRaw(m, probe) != 0) {
-          const int first = Ops::HasHoleAtZero(m, probe) ? 1 : 0;
-          hint = Ops::LoadKeyAt(m, probe, first) - 1;
+        if (!Ops::IsDead(m, probe)) {
+          // The stop node's persistent low fence bounds the whole dead run
+          // from above — valid even when the stop node itself is empty.
+          const Key f = Ops::LoadFence(m, probe);
+          hint = f > 0 ? f - 1 : 0;
           have_hint = true;
           break;
         }
@@ -564,14 +621,15 @@ typename BTreeT<P>::SweepResult BTreeT<P>::SweepDrainedRanges(Key cursor,
     bool advanced = false;
     NodeT* probe = AsNode(sib_u);
     for (int hops = 0; probe != nullptr && hops < 256; ++hops) {
-      if (!Ops::IsDead(m, probe) && Ops::CountRaw(m, probe) != 0) {
-        const int first = Ops::HasHoleAtZero(m, probe) ? 1 : 0;
-        const Key k = Ops::LoadKeyAt(m, probe, first);
+      if (!Ops::IsDead(m, probe)) {
+        // Advance to the live node's low fence: exact even when the node
+        // has drained empty (its range assignment is persistent).
+        const Key k = Ops::LoadFence(m, probe);
         if (k > r.next_cursor) {
           r.next_cursor = k;
           advanced = true;
+          break;
         }
-        break;
       }
       probe = AsNode(Ops::LoadSibling(m, probe));
     }
@@ -639,21 +697,56 @@ void BTreeT<P>::ReclaimDeadSubtree(const NodeT* c) {
 }
 
 template <std::size_t P>
-void BTreeT<P>::LowerFence(NodeT* c, Key low) {
+bool BTreeT<P>::LowerFence(NodeT* c, Key low) {
   RealMem m;
   // Lowering is chain-consistent: the widened range's previous owners died
   // and were unlinked at every level, so `c` (and recursively its first
-  // child) is the chain successor of the drained run and may own the range
-  // down to `low`. Nodes with a leftmost branch route sub-fence keys there
-  // already and need no change.
-  while (!c->is_leaf()) {
-    if (Ops::LoadLeftmost(m, c) != 0) return;
-    if (Ops::CountRaw(m, c) == 0) return;
-    if (Ops::LoadKeyAt(m, c, 0) <= low) return;
-    Ops::StoreKeyAt(m, c, 0, low);
-    m.Flush(&c->records[0]);
+  // child, down to the first leaf) is the chain successor of the drained
+  // run and may own the range down to `low`. The persistent hdr.fence is
+  // lowered at EVERY level including the leaf: ShouldMoveRight keys off
+  // the fence, so a walk approaching from the left and a descent routed
+  // through the redirected parent must agree on the new owner before the
+  // caller publishes the redirect. Internal nodes with lm == 0 also keep
+  // records[0].key in sync so child selection routes sub-separator keys
+  // to the spine child rather than through the degenerate clamp.
+  //
+  // Each store runs under the node's own lock so a concurrent writer's
+  // record shift cannot interleave with it — but acquired with try_lock:
+  // the caller holds the *parent* lock, and a blocking child acquisition
+  // here would invert the child -> parent order the unlink/repair path
+  // uses. On contention we stop and report failure; the caller defers the
+  // route redirect to a later repair pass. Stopping partway is safe: the
+  // fences already lowered only widen ranges no reader is routed into
+  // until the caller publishes the redirect (which it only does on
+  // success), and the drained range holds no live keys regardless.
+  for (;;) {
+    if (!c->hdr.lock.try_lock()) return false;
+    if (Ops::IsDead(m, c) || Ops::LoadFence(m, c) <= low) {
+      // Dead: the redirect will be re-repaired lazily (LockCovering).
+      // Fence already low enough: the whole spine below was lowered when
+      // it was (fences only ever decrease, and creation keeps
+      // fence(node) == fence(first spine child)).
+      c->hdr.lock.unlock();
+      return true;
+    }
+    Ops::StoreFence(m, c, low);
+    m.Flush(&c->hdr);
+    if (!c->is_leaf() && Ops::LoadLeftmost(m, c) == 0 &&
+        Ops::CountRaw(m, c) > 0 && Ops::LoadKeyAt(m, c, 0) > low) {
+      Ops::StoreKeyAt(m, c, 0, low);
+      m.Flush(&c->records[0]);
+    }
     m.Fence();
-    c = AsNode(Ops::LoadPtrAt(m, c, 0));
+    if (c->is_leaf()) {
+      c->hdr.lock.unlock();
+      return true;
+    }
+    const std::uint64_t lm = Ops::LoadLeftmost(m, c);
+    const std::uint64_t next_u = lm != 0 ? lm : Ops::LoadPtrAt(m, c, 0);
+    c->hdr.lock.unlock();
+    if (next_u == 0) return false;  // empty internal: spine unreachable,
+                                    // defer the redirect to a later pass
+    c = AsNode(next_u);
   }
 }
 
@@ -689,7 +782,11 @@ void BTreeT<P>::CleanDeadRoutes(NodeT* p) {
       // Only roots and ex-roots carry a leftmost, so `p` is the leftmost
       // node of its level and the union range's floor is the key minimum.
       const auto* c = detail::ResolveNode<NodeT>(lm);
-      LowerFence(AsNode(Ops::LoadPtrAt(m, p, 0)), 0);
+      // Contended fence lowering: leave the dead route for a later repair
+      // pass rather than publish a redirect whose target still fences the
+      // range out (LowerFence only fails on lock contention, so "later"
+      // is as soon as the competing writer releases the child).
+      if (!LowerFence(AsNode(Ops::LoadPtrAt(m, p, 0)), 0)) break;
       Ops::StoreLeftmost(m, p, Ops::LoadPtrAt(m, p, 0));
       m.Flush(&p->hdr);
       m.Fence();
@@ -710,8 +807,13 @@ void BTreeT<P>::CleanDeadRoutes(NodeT* p) {
         // it; otherwise duplicate the next record's child over it and let
         // FixNode merge the pair under the lower separator key.
         if (cnt < 2) break;
-        LowerFence(AsNode(Ops::LoadPtrAt(m, p, 1)),
-                   Ops::LoadKeyAt(m, p, 0));
+        // Same deferral as the leftmost path: a failed (contended)
+        // lowering leaves this dead route for the next repair pass, but
+        // the scan keeps going — later routes need no lowering.
+        if (!LowerFence(AsNode(Ops::LoadPtrAt(m, p, 1)),
+                        Ops::LoadKeyAt(m, p, 0))) {
+          continue;
+        }
         Ops::StorePtrAt(m, p, 0, Ops::LoadPtrAt(m, p, 1));
         m.Flush(&p->records[0]);
         m.Fence();
@@ -735,8 +837,9 @@ void BTreeT<P>::RepairDeadRoutes(std::uint16_t level, Key lo, Key hi) {
   if (root->hdr.level < level) return;  // no such level exists
   NodeT* p = root;
   while (p->hdr.level > level) {
-    while (Ops::ShouldMoveRight(m, p, lo, detail::ResolveNode<NodeT>)) {
-      p = AsNode(Ops::LoadSibling(m, p));
+    for (std::uint64_t su;
+         (su = Ops::MoveRightTarget(m, p, lo, detail::ResolveNode<NodeT>));) {
+      p = AsNode(su);
     }
     p = AsNode(child_search_(m, p, lo));
   }
@@ -759,11 +862,11 @@ void BTreeT<P>::RepairDeadRoutes(std::uint16_t level, Key lo, Key hi) {
       // parent whose single remaining child died): it can only be absorbed
       // from its left neighbour, but a repair keyed inside its range
       // anchors ON it — without this restart an insert into the range
-      // would retry against the same tombstone forever. Its fence key is
-      // records[0].key, so one key below it anchors the walk on the left
-      // neighbour; lo decreases strictly, and the leftmost node of a level
-      // always keeps a live child, so the recursion terminates.
-      const Key fence = Ops::LoadKeyAt(m, p, 0);
+      // would retry against the same tombstone forever. One key below its
+      // persistent low fence anchors the walk on the left neighbour; lo
+      // decreases strictly, and the leftmost node of a level always keeps
+      // a live child, so the recursion terminates.
+      const Key fence = Ops::LoadFence(m, p);
       p->hdr.lock.unlock();
       if (fence > 0) RepairDeadRoutes(level, fence - 1, hi);
       return;
@@ -936,7 +1039,7 @@ void BTreeT<P>::AdoptRootChain() {
     if (++adopted > kNodeCapacity) {
       throw std::runtime_error("AdoptRootChain: sibling chain exceeds fanout");
     }
-    Ops::InsertKey(m, nr, Ops::LoadKeyAt(m, s, first),
+    Ops::InsertKey(m, nr, Ops::LoadFence(m, s),
                    reinterpret_cast<std::uint64_t>(s));
   }
   pm::Persist(nr, sizeof(NodeT));
@@ -965,13 +1068,32 @@ bool BTreeT<P>::CheckInvariants(std::string* msg) const {
     }
     bool have_prev = false;
     Key prev = 0;
+    bool have_fence = false;
+    Key prev_fence = 0;
     for (const NodeT* n = first; n != nullptr;
          n = Resolve(Ops::LoadSibling(m, n))) {
       if (n->hdr.level != expect_level) return fail("level tag mismatch");
+      // The persistent low fence partitions each level: strictly ascending
+      // along the chain, and never above the node's own keys.
+      const Key fence = Ops::LoadFence(m, n);
+      if (have_fence && fence <= prev_fence) {
+        return fail("fences not strictly ascending at level " +
+                    std::to_string(expect_level));
+      }
+      if (have_prev && fence <= prev && n != first) {
+        return fail("fence at or below left neighbour's keys at level " +
+                    std::to_string(expect_level));
+      }
+      prev_fence = fence;
+      have_fence = true;
       const int cnt = Ops::CountRaw(m, const_cast<NodeT*>(n));
       for (int i = Ops::HasHoleAtZero(m, const_cast<NodeT*>(n)) ? 1 : 0;
            i < cnt; ++i) {
         const Key k = Ops::LoadKeyAt(m, const_cast<NodeT*>(n), i);
+        if (k < fence) {
+          return fail("key below the node's low fence at level " +
+                      std::to_string(expect_level));
+        }
         if (have_prev && k <= prev) {
           return fail("keys not strictly ascending at level " +
                       std::to_string(expect_level));

@@ -22,8 +22,13 @@
 //    child; their records[0].key equals the separator that routes to them,
 //    so the leftmost branch is unreachable there.
 //  * hdr.sibling links nodes left-to-right within a level (B-link), and
-//    sibling->records[0].key acts as the high fence: queries move right when
-//    key >= that fence.
+//    hdr.fence is the node's persistent low fence: a node owns keys in
+//    [hdr.fence, sibling->hdr.fence), so queries move right exactly when
+//    key >= sibling->hdr.fence. The fence is explicit (not inferred from
+//    records[0].key) because lazy unlink keeps drained-empty nodes linked:
+//    an empty node has no first key, but its range assignment must survive
+//    so that writers racing the unlink agree with readers on which node
+//    owns every key. The leftmost node of each level has fence 0.
 //
 // All fields written by concurrent/persistent code paths are plain 64-bit
 // (or 32-bit) words accessed via std::atomic_ref through a memory policy
@@ -57,6 +62,18 @@ class RwSpinLock {
     }
   }
   void unlock() { state_.store(0, std::memory_order_release); }
+
+  /// Non-blocking acquire, for paths that hold a parent lock and need a
+  /// child lock (the repairer's fence lowering): the normal order is
+  /// child -> parent, so blocking here could deadlock against a writer
+  /// holding the child and waiting for the parent. Failure is always safe
+  /// to resolve by deferring the work.
+  bool try_lock() {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriter,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
 
   void lock_shared() {
     int spins = 0;
@@ -114,11 +131,12 @@ inline constexpr std::uint16_t kNodeReclaimed = 2;
 struct NodeHeader {
   std::uint64_t leftmost;        // child for key < records[0].key (internal)
   std::uint64_t sibling;         // right sibling (Node*), 0 if none
+  std::uint64_t fence;           // low fence: node owns [fence, sib->fence)
   std::uint32_t switch_counter;  // even: insert phase, odd: delete phase
   std::uint16_t level;           // 0 = leaf
   std::uint16_t flags;           // kNodeDead | kNodeReclaimed
   RwSpinLock lock;               // volatile; reinitialized on recovery
-  std::uint8_t pad[kCacheLineSize - 28];
+  std::uint8_t pad[kCacheLineSize - 36];
 };
 static_assert(sizeof(NodeHeader) == kCacheLineSize);
 

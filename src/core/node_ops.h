@@ -75,6 +75,8 @@ struct NodeOps {
   static void StoreSibling(Mem& m, N* n, std::uint64_t v) {
     m.Store64(&n->hdr.sibling, v);
   }
+  static Key LoadFence(Mem& m, const N* n) { return m.Load64(&n->hdr.fence); }
+  static void StoreFence(Mem& m, N* n, Key v) { m.Store64(&n->hdr.fence, v); }
   // The switch counter shares an 8-byte word with level/reserved; it is only
   // written under the node write lock, so read-modify-write of the word is
   // safe, and 8-byte stores keep the policy interface uniform.
@@ -296,11 +298,14 @@ struct NodeOps {
 
   /// Copies records[median..cnt) of `src` into fresh, unreachable `dst`,
   /// chains dst to src's sibling, and flushes dst wholly (Alg 2 lines 9-15).
+  /// The separator becomes dst's persistent low fence, so dst's range
+  /// assignment survives even after every copied record is later deleted.
   static void SplitCopy(Mem& m, N* src, N* dst, int median, int cnt) {
     for (int i = median, j = 0; i < cnt; ++i, ++j) {
       StoreKeyAt(m, dst, j, LoadKeyAt(m, src, i));
       StorePtrAt(m, dst, j, LoadPtrAt(m, src, i));
     }
+    StoreFence(m, dst, LoadKeyAt(m, src, median));
     StoreSibling(m, dst, LoadSibling(m, src));
     for (std::size_t off = 0; off < sizeof(N); off += kCacheLineSize) {
       m.Flush(reinterpret_cast<const char*>(dst) + off);
@@ -434,18 +439,39 @@ struct NodeOps {
     }
   }
 
-  /// True when the query must move right to the sibling (B-link fence
-  /// check): sibling exists and its first key <= key.
+  /// B-link fence check returning the node to hop to: the sibling handle
+  /// when it exists and its low fence <= key, else 0. The persistent
+  /// hdr.fence, not the sibling's first key, is the fence: with lazy
+  /// unlink a drained-empty node stays linked, and inferring the fence
+  /// from its (absent) records would stop the walk short — a remove would
+  /// then miss a key living right of the empty node, and the stray copy
+  /// would resurface once the empty node is unlinked and its range merges
+  /// left. The fence keeps the key->node mapping total regardless of
+  /// occupancy.
+  ///
+  /// Unlocked walkers MUST hop to the returned handle, never re-load the
+  /// sibling afterwards: between the fence check and a second load the
+  /// node can split (or unlink a dead right neighbour), swinging the
+  /// sibling to a node whose fence exceeds the key. A walk that hops to
+  /// that re-loaded pointer lands right of the key's range with no way
+  /// back (B-link walks only go right) — a search misses a live key, and
+  /// an insert files the key below its node's low fence, permanently
+  /// unroutable. The fence validated here is the hop's license, and it
+  /// stays valid because fences only ever decrease.
+  template <class NodeResolver>
+  static std::uint64_t MoveRightTarget(Mem& m, const N* n, Key key,
+                                       NodeResolver resolve) {
+    const std::uint64_t sib = LoadSibling(m, n);
+    if (sib == 0) return 0;
+    return LoadFence(m, resolve(sib)) <= key ? sib : 0;
+  }
+
+  /// Predicate form of MoveRightTarget, for callers that hold the node's
+  /// lock (the sibling cannot change under them) or only probe.
   template <class NodeResolver>
   static bool ShouldMoveRight(Mem& m, const N* n, Key key,
                               NodeResolver resolve) {
-    const std::uint64_t sib = LoadSibling(m, n);
-    if (sib == 0) return false;
-    const N* s = resolve(sib);
-    // The sibling's slot 0 may be a transient hole; its key is then at 1.
-    const int first = FirstValidSlot(m, s);
-    if (LoadPtrAt(m, s, first) == 0) return false;  // empty sibling: no fence
-    return LoadKeyAt(m, s, first) <= key;
+    return MoveRightTarget(m, n, key, resolve) != 0;
   }
 
   /// Snapshot of the valid records of a node (sorted), for range scans and

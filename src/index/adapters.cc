@@ -138,12 +138,13 @@ std::unique_ptr<Index> MakeIndex(std::string_view kind, pm::Pool* pool) {
   }
   if (kind == "fastfair-reclaim") {
     // Delete-churn variant: emptied leaves are unlinked and recycled
-    // through the pool free lists. Multi-writer unlink is not yet proven
-    // (core/btree.h), so the kind is registered non-concurrent.
+    // through the pool free lists. Concurrent: multi-writer unlinking is
+    // covered by the split/unlink interlock (core/btree_impl.h, proven by
+    // tests/concurrent_mutation_test.cc's seeded race sweep).
     core::Options o = FFOpts(ConcurrencyMode::kLockFree, RebalanceMode::kFair,
                              SearchMode::kLinear);
     o.reclaim_empty_leaves = true;
-    return std::make_unique<Wrap<core::BTree>>("fastfair-reclaim", false,
+    return std::make_unique<Wrap<core::BTree>>("fastfair-reclaim", true,
                                                pool, o);
   }
   if (kind == "fastfair-1k") {  // Fig 4 uses 1 KB FAST+FAIR nodes

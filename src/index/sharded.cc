@@ -1,6 +1,7 @@
 #include "index/sharded.h"
 
 #include <charconv>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -118,12 +119,18 @@ std::size_t TryParseShardedKind(std::string_view kind,
 
 namespace {
 
-// Drains every reader pinned at or before the current epoch: once this
-// returns, any reader still inside Search/Scan pinned *after* the caller's
-// preceding (seq_cst) stores and therefore observes them. Reader pins are
-// per-operation, so the wait is short; TryAdvance moves late arrivals to a
-// newer epoch so the loop terminates even under a constant read load.
-void WaitForPinnedReaders() {
+// Drains every operation pinned at or before the current epoch: once this
+// returns, any reader *or writer* still inside an Index op pinned *after*
+// the caller's preceding (seq_cst) stores and therefore observes them.
+// Pins are per-operation, so the wait is short; TryAdvance moves late
+// arrivals to a newer epoch so the loop terminates even under constant
+// load. Rebalance leans on this as a state-transition fence three times:
+// after raising `migrating_` (old single-routed writers finish before the
+// copy loop starts), after publishing the new boundaries (readers routed
+// by the old set finish before their copies vanish), and after clearing
+// `migrating_` (the last dual-routed writers' old-shard applies finish
+// before phase 3 deletes them as stale).
+void WaitForPinnedOps() {
   const std::uint64_t e = pm::epoch::Current();
   while (pm::epoch::MinPinned() <= e) {
     pm::epoch::TryAdvance();
@@ -146,6 +153,10 @@ void ShardedIndex::BuildShards(std::size_t num_shards,
                                const ShardFactory& make) {
   concurrent_ = detail::BuildShardVector(num_shards, make, &shards_);
   counters_ = std::make_unique<ShardCounters[]>(num_shards);
+  // Value-initialized (zeroed) migration stripes, allocated up front so
+  // the write path never branches on their existence.
+  mig_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      std::size_t{1} << kMigStripeBits);
 }
 
 ShardedIndex::ShardedIndex(std::string name, std::size_t num_shards,
@@ -202,15 +213,55 @@ std::vector<std::size_t> ShardedIndex::ShardEntryCounts() const {
 }
 
 void ShardedIndex::Insert(Key key, Value value) {
-  const std::size_t s = ShardOf(key);
+  // The guard spans route + apply, mirroring Search: each of Rebalance's
+  // grace periods waits out every pinned op, so a writer that routed
+  // under pre-transition state provably finishes before the phase that
+  // depends on it starts. The pin also means `active_` cannot flip while
+  // this op is in flight (the publish comes after a grace period).
+  pm::EpochGuard guard;
+  const unsigned a = active_.load(std::memory_order_seq_cst);
+  const std::size_t s = ShardWith(bounds_[a], key);
+  if (migrating_.load(std::memory_order_seq_cst)) {
+    const std::size_t t = ShardWith(bounds_[a ^ 1u], key);
+    if (t != s) {
+      // Dual-route (DESIGN.md §4.3): apply under the currently-routing
+      // boundaries first, bump the key's migration stripe, then apply
+      // under the other set. The stripe bump is the seqlock edge the
+      // copy loop synchronizes on — either the copy re-reads and sees
+      // this write, or this op's own second apply lands after the copy
+      // and is authoritative.
+      shards_[s]->Insert(key, value);
+      MigSeqOf(key).fetch_add(1, std::memory_order_acq_rel);
+      shards_[t]->Insert(key, value);
+      counters_[s].entries.fetch_add(1, std::memory_order_relaxed);
+      NoteOp(s);
+      return;
+    }
+  }
   shards_[s]->Insert(key, value);
   counters_[s].entries.fetch_add(1, std::memory_order_relaxed);
   NoteOp(s);
 }
 
 bool ShardedIndex::Remove(Key key) {
-  const std::size_t s = ShardOf(key);
-  const bool removed = shards_[s]->Remove(key);
+  pm::EpochGuard guard;  // same migration fencing as Insert
+  const unsigned a = active_.load(std::memory_order_seq_cst);
+  const std::size_t s = ShardWith(bounds_[a], key);
+  bool removed;
+  if (migrating_.load(std::memory_order_seq_cst)) {
+    const std::size_t t = ShardWith(bounds_[a ^ 1u], key);
+    if (t != s) {
+      removed = shards_[s]->Remove(key);
+      MigSeqOf(key).fetch_add(1, std::memory_order_acq_rel);
+      removed = shards_[t]->Remove(key) || removed;
+      if (removed) {
+        counters_[s].entries.fetch_sub(1, std::memory_order_relaxed);
+      }
+      NoteOp(s);
+      return removed;
+    }
+  }
+  removed = shards_[s]->Remove(key);
   if (removed) counters_[s].entries.fetch_sub(1, std::memory_order_relaxed);
   NoteOp(s);
   return removed;
@@ -268,6 +319,24 @@ void ShardedIndex::SearchBatch(const Key* keys, std::size_t n,
 void ShardedIndex::InsertBatch(const core::Record* ops, std::size_t n,
                                InsertStatus* out) {
   if (n == 0) return;
+  // One pin covers routing and every shard group, mirroring SearchBatch —
+  // and, like the scalar writers, it is the unit Rebalance's grace
+  // periods wait on, so `active_` cannot flip mid-batch.
+  pm::EpochGuard guard;
+  if (migrating_.load(std::memory_order_seq_cst)) {
+    // Migration window: fall back to per-key dual-routing (Insert pins
+    // reentrantly). Batched dual-dispatch would buy little — the window
+    // is bounded by one Rebalance — and the scalar path is the one whose
+    // exactly-once protocol is proven.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out != nullptr) {
+        out[i] = Search(ops[i].key) == kNoValue ? InsertStatus::kInserted
+                                                : InsertStatus::kUpdated;
+      }
+      Insert(ops[i].key, ops[i].ptr);
+    }
+    return;
+  }
   std::vector<InsertStatus> st;
   detail::DispatchBatchByShard(
       ops, n, shards_.size(),
@@ -290,17 +359,31 @@ void ShardedIndex::InsertBatch(const core::Record* ops, std::size_t n,
 namespace {
 
 // Streams shard by shard in range order; opens each shard's iterator only
-// when the previous shard is exhausted.
+// when the previous shard is exhausted. With `pin`, holds an epoch pin
+// for its whole lifetime so a concurrent Rebalance cannot delete the
+// stale copies (or reclaim drained nodes) this snapshot still routes to.
+// Rebalance's own internal scans pass pin=false: its grace periods wait
+// on every pin, so pinning from the rebalancing thread would self-wait.
 class ChainedScanIterator final : public ScanIterator {
  public:
   ChainedScanIterator(const std::vector<std::unique_ptr<Index>>* shards,
-                      std::size_t first, Key min_key)
-      : shards_(shards), next_(first), min_key_(min_key), first_(first) {}
+                      std::size_t first, Key min_key, bool pin)
+      : shards_(shards), next_(first), min_key_(min_key), first_(first) {
+    if (pin) pin_.emplace();
+  }
 
   bool Next(core::Record* out) override {
     for (;;) {
       if (cur_ && cur_->Next(out)) return true;
-      if (next_ >= shards_->size()) return false;
+      if (next_ >= shards_->size()) {
+        // Exhausted: nothing left to protect, so release the pin now
+        // rather than at destruction — a drained-but-still-in-scope
+        // iterator must not stall a Rebalance (or deadlock one issued
+        // from this very thread).
+        cur_.reset();
+        pin_.reset();
+        return false;
+      }
       cur_ = (*shards_)[next_]->NewScanIterator(next_ == first_ ? min_key_
                                                                 : Key{0});
       ++next_;
@@ -308,6 +391,7 @@ class ChainedScanIterator final : public ScanIterator {
   }
 
  private:
+  std::optional<pm::EpochGuard> pin_;  // declared first: released last
   const std::vector<std::unique_ptr<Index>>* shards_;
   std::unique_ptr<ScanIterator> cur_;
   std::size_t next_;
@@ -319,17 +403,19 @@ class ChainedScanIterator final : public ScanIterator {
 
 std::unique_ptr<ScanIterator> ShardedIndex::NewScanIterator(
     Key min_key) const {
-  // Pin only the routing step: ShardOf reads the double-buffered bounds,
-  // which Rebalance may overwrite once no pinned reader remains. The
-  // iterator itself holds shard *indexes*, never boundary references, so
-  // its (arbitrarily long) life needs no pin — it stays best-effort
-  // across a rebalance as documented.
+  // Route under a pin, then hand the pin's lifetime to the iterator: a
+  // Rebalance that publishes new boundaries while this snapshot is open
+  // blocks at its grace periods until the iterator is destroyed, so the
+  // copies the snapshot routes to stay live (epoch pins are thread-affine
+  // — see the header contract). The iterator itself still holds shard
+  // *indexes*, never boundary references.
   std::size_t first;
   {
     pm::EpochGuard guard;
     first = ShardOf(min_key);
   }
-  return std::make_unique<ChainedScanIterator>(&shards_, first, min_key);
+  return std::make_unique<ChainedScanIterator>(&shards_, first, min_key,
+                                               /*pin=*/true);
 }
 
 void ShardedIndex::CollectMaintenanceTasks(
@@ -343,15 +429,17 @@ void ShardedIndex::CollectMaintenanceTasks(
 
 ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
   std::lock_guard lk(rebalance_mu_);
-  // A reader from a *previous* Rebalance could in principle still hold a
+  // An op from a *previous* Rebalance could in principle still hold a
   // reference into the buffer this call will overwrite at publish time;
-  // drain pinned readers once up front so the inactive buffer is provably
+  // drain pinned ops once up front so the inactive buffer is provably
   // unreferenced.
-  WaitForPinnedReaders();
+  WaitForPinnedOps();
   const std::size_t n_shards = shards_.size();
   RebalanceResult r;
 
-  // Exact per-shard counts (quiescent writers are a precondition).
+  // Per-shard counts: exact at quiescence, a relaxed snapshot under live
+  // writers — they only seed the quantile targets and the counter resync,
+  // neither of which needs exactness under churn.
   std::vector<std::size_t> counts = ShardEntryCounts();
   std::size_t total = 0;
   for (const std::size_t c : counts) total += c;
@@ -379,9 +467,13 @@ ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
   bounds.reserve(n_shards - 1);
   {
     std::size_t rank = 0;
-    auto it = NewScanIterator(Key{0});
+    // Unpinned chained scan: the public NewScanIterator pins for its
+    // lifetime, and this thread's own grace periods below would wait on
+    // that pin forever. Under live writers the quantiles are a snapshot —
+    // good enough for a balance heuristic.
+    ChainedScanIterator it(&shards_, 0, Key{0}, /*pin=*/false);
     core::Record rec;
-    while (bounds.size() < n_shards - 1 && it->Next(&rec)) {
+    while (bounds.size() < n_shards - 1 && it.Next(&rec)) {
       // total < N makes consecutive cuts collide; the inner loop then emits
       // duplicate boundaries (legal: the shard between them stays empty).
       while (bounds.size() < n_shards - 1 &&
@@ -395,10 +487,27 @@ ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
     // legal and route nothing past them).
     while (bounds.size() < n_shards - 1) bounds.push_back(~Key{0});
   }
-  const auto new_shard_of = [&bounds](Key key) {
+  // Stage the new boundaries in the inactive buffer *before* opening the
+  // migration window: dual-routing writers read bounds_[a ^ 1] as their
+  // second route, so the buffer must be complete before any writer can
+  // observe migrating_ == true. The copy loop routes by the same staged
+  // buffer (`bounds` is moved-from past this point).
+  const unsigned inactive = active_.load(std::memory_order_relaxed) ^ 1u;
+  bounds_[inactive] = std::move(bounds);
+  const std::vector<Key>& staged = bounds_[inactive];
+  const auto new_shard_of = [&staged](Key key) {
     return static_cast<std::size_t>(
-        std::upper_bound(bounds.begin(), bounds.end(), key) - bounds.begin());
+        std::upper_bound(staged.begin(), staged.end(), key) - staged.begin());
   };
+
+  // Open the migration window (DESIGN.md §4.3). After the grace period,
+  // every in-flight writer that single-routed under the old boundaries
+  // has finished, and every new writer dual-routes: old shard, stripe
+  // bump, new shard. From here to the post-clear grace period, a write
+  // racing the copy loop is caught by the per-key seqlock below or lands
+  // its own authoritative copy in the new shard — never silently lost.
+  migrating_.store(true, std::memory_order_seq_cst);
+  WaitForPinnedOps();
 
   // Phase 1: copy every entry whose shard changes into its new shard. Old
   // boundaries still route lookups, so concurrent readers keep finding the
@@ -413,7 +522,35 @@ ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
     while (it->Next(&rec)) {
       const std::size_t t = new_shard_of(rec.key);
       if (t == s) continue;
-      shards_[t]->Insert(rec.key, rec.ptr);
+      // Per-key seqlock against dual-routing writers. Re-read the live
+      // value between two acquire loads of the key's stripe; retry until
+      // the stripe is stable across the read + copy. A writer whose bump
+      // lands inside the window forces a re-read that observes its
+      // old-shard apply; a writer whose bump lands after c1 necessarily
+      // acquired the new shard's leaf lock after this copy did (the c1
+      // load is ordered after our leaf-lock RMW, so a writer-first leaf
+      // order would have made its pre-apply bump visible at c1), and its
+      // own new-shard apply overwrites the copy. Either way the writer's
+      // value wins. The value must be re-read inside the window — the
+      // iterator's rec.ptr predates c0 and may be stale.
+      std::atomic<std::uint64_t>& seq = MigSeqOf(rec.key);
+      for (int spins = 0;;) {
+        const std::uint64_t c0 = seq.load(std::memory_order_acquire);
+        const Value v = shards_[s]->Search(rec.key);
+        if (v != kNoValue) {
+          shards_[t]->Insert(rec.key, v);
+        } else {
+          // Removed since the iterator saw it: propagate the removal in
+          // case an earlier retry (or a racing writer's since-removed
+          // insert) left a copy in the new shard.
+          shards_[t]->Remove(rec.key);
+        }
+        if (seq.load(std::memory_order_acquire) == c0) break;
+        if (++spins >= 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
       ++r.moved;
     }
   }
@@ -422,16 +559,29 @@ ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
   // present under both (old copy or migrated copy). seq_cst store so the
   // pin-ordering argument below is airtight: a reader whose (seq_cst) pin
   // follows the grace period's epoch reads must also observe this store.
-  const unsigned inactive = active_.load(std::memory_order_relaxed) ^ 1u;
-  bounds_[inactive] = std::move(bounds);
   active_.store(inactive, std::memory_order_seq_cst);
 
-  // Grace period: wait out every reader that may have routed under the
-  // old boundaries before deleting the copies it would look for. This is
+  // Grace period: wait out every op that may have routed under the old
+  // boundaries before deleting the copies it would look for. This is
   // what makes Search() *never* miss during a rebalance rather than
   // almost-never (the route is computed, then the shard searched — a
-  // reader preempted between the two must still find the old copy).
-  WaitForPinnedReaders();
+  // reader preempted between the two must still find the old copy). It
+  // also orders the `migrating_` clear below after every writer that read
+  // `active_` pre-publish: such a writer is still pinned, so it observes
+  // migrating_ == true and dual-routes — it can never pair a pre-publish
+  // route with a post-clear single-route decision and strand its write in
+  // a shard phase 3 is about to clean.
+  WaitForPinnedOps();
+
+  // Close the migration window, then wait out the last dual-routing
+  // writers before phase 3 scans for stale copies: a post-publish dual
+  // writer's second apply lands in the *old* shard (its first, routing
+  // apply already went to the new shard), and that stale copy must be
+  // fully written before the cleanup below derives each shard's stale
+  // set — one landing after the scan would survive as a phantom
+  // duplicate visible to CountEntries and full-range scans.
+  migrating_.store(false, std::memory_order_seq_cst);
+  WaitForPinnedOps();
 
   // Phase 3: drop the stale copies — every key in shard s whose *new*
   // shard differs (original entries that migrated out; copies migrated in
@@ -465,8 +615,10 @@ ShardedIndex::RebalanceResult ShardedIndex::Rebalance() {
     shards_[s]->Remove(stale.back());  // the sentinel
   }
 
-  // Resync the approximate counters to the (exactly known) post-migration
-  // occupancy: new shard j holds the ranks [j*total/N, (j+1)*total/N).
+  // Resync the approximate counters to the post-migration occupancy: new
+  // shard j holds the ranks [j*total/N, (j+1)*total/N). Exact at
+  // quiescence; writes racing the resync smear it by their in-flight
+  // count, which the relaxed counters never promised to resolve anyway.
   std::vector<std::size_t> after(n_shards);
   for (std::size_t j = 0; j < n_shards; ++j) {
     after[j] = (j + 1) * total / n_shards - j * total / n_shards;

@@ -25,7 +25,8 @@
 // quantiles and migrates entries shard-to-shard (protocol in DESIGN.md
 // §4.3: copy to the new shard, publish the boundaries, then delete the
 // stale copies — concurrent readers always find a key under whichever
-// boundary set they observe).
+// boundary set they observe, and concurrent writers dual-route through
+// the migration window so racing upserts land exactly once).
 
 #pragma once
 
@@ -167,6 +168,13 @@ class ShardedIndex final : public Index {
   std::size_t CountEntries() const override;
 
   /// Streams shard by shard in range order — merge-free, like Scan.
+  /// The iterator holds an epoch pin until it is exhausted or destroyed,
+  /// so a Rebalance racing an open iterator cannot delete the stale
+  /// copies (or reclaim drained nodes) out from under it: the snapshot
+  /// stays consistent through copy/publish/delete. Epoch pins are
+  /// thread-affine — create, drain and destroy the iterator on one
+  /// thread, and never call Rebalance() on a thread holding an
+  /// unexhausted iterator (the grace periods would wait on its own pin).
   std::unique_ptr<ScanIterator> NewScanIterator(Key min_key) const override;
 
   std::string_view name() const override { return name_; }
@@ -183,14 +191,7 @@ class ShardedIndex final : public Index {
   /// period so a reader pinned after the grace period provably routes by
   /// the new boundaries.
   std::size_t ShardOf(Key key) const {
-    const std::vector<Key>& b =
-        bounds_[active_.load(std::memory_order_seq_cst)];
-    if (!b.empty()) {
-      return static_cast<std::size_t>(
-          std::upper_bound(b.begin(), b.end(), key) - b.begin());
-    }
-    return static_cast<std::size_t>(
-        (static_cast<unsigned __int128>(key) * shards_.size()) >> 64);
+    return ShardWith(bounds_[active_.load(std::memory_order_seq_cst)], key);
   }
 
   // --- skew instrumentation + rebalance (DESIGN.md §4.3) -------------------
@@ -247,12 +248,22 @@ class ShardedIndex final : public Index {
   /// pinned reader before the stale copies are deleted (and before an
   /// older boundary buffer is reused), so a reader routed by either
   /// boundary set always finds its key. A cross-shard Scan may
-  /// transiently see a migrating key twice. Writers must be quiesced: an
-  /// upsert against the old copy after it was copied would be lost,
-  /// symmetric to the single-writer caveat on fastfair-reclaim. Open
-  /// ScanIterators do not pin (they may live arbitrarily long) and stay
-  /// best-effort across a rebalance. Calls serialize on an internal
-  /// mutex.
+  /// transiently see a migrating key twice.
+  ///
+  /// Safe under concurrent *writers* too (DESIGN.md §4.3): through the
+  /// migration window (`migrating_` set, bracketed by epoch grace
+  /// periods) every Insert/Remove applies under BOTH boundary sets —
+  /// old shard first, then a per-key migration-stripe bump, then the new
+  /// shard — and phase 1's copy loop re-reads any key whose stripe moved
+  /// (seqlock), so a racing upsert lands exactly once: either the copy
+  /// observes the post-write value, or the writer's own new-shard apply
+  /// is ordered after the copy and wins. Two writers racing the *same*
+  /// key through the window get a linearizable-but-arbitrary winner,
+  /// exactly as they would racing the same leaf without a rebalance.
+  /// Requires the inner shards to support concurrent callers when
+  /// writers are live (a non-concurrent inner kind such as sharded-wort
+  /// keeps the single-writer contract it always had). Calls serialize on
+  /// an internal mutex.
   RebalanceResult Rebalance();
 
   /// Contributes an ImbalancePolicyTask that closes the histogram →
@@ -271,6 +282,26 @@ class ShardedIndex final : public Index {
     std::atomic<std::uint64_t> ops{0};
   };
 
+  /// Routes `key` under an explicit boundary buffer (empty => uniform
+  /// fixed-point partition). ShardOf routes under the active buffer; the
+  /// migration window routes each write under both buffers with ONE
+  /// active_ load (two loads could straddle the publish and route both
+  /// applies to the same shard, losing the write).
+  std::size_t ShardWith(const std::vector<Key>& b, Key key) const {
+    if (!b.empty()) {
+      return static_cast<std::size_t>(
+          std::upper_bound(b.begin(), b.end(), key) - b.begin());
+    }
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(key) * shards_.size()) >> 64);
+  }
+
+  /// The key's migration seqlock stripe (Fibonacci hash, top bits).
+  /// Collisions only cause spurious copy-loop retries, never misses.
+  std::atomic<std::uint64_t>& MigSeqOf(Key key) const {
+    return mig_seq_[(key * 0x9E3779B97F4A7C15ull) >> (64 - kMigStripeBits)];
+  }
+
   void BuildShards(std::size_t num_shards, const ShardFactory& make);
   void NoteOp(std::size_t shard) const { NoteOps(shard, 1); }
   /// Bulk form: one counter add for a batch's whole shard group; samples
@@ -285,6 +316,14 @@ class ShardedIndex final : public Index {
   // vector. Empty active buffer => uniform fixed-point partition.
   std::array<std::vector<Key>, 2> bounds_;
   std::atomic<unsigned> active_{0};
+  // Live-writer migration window (DESIGN.md §4.3). While set (between
+  // Rebalance's pre-copy and pre-delete grace periods) writers dual-route
+  // and bump their key's stripe between the two applies; the copy loop
+  // retries any key whose stripe moved. Striped rather than per-key: the
+  // counters are contention-only state, never consulted for routing.
+  static constexpr unsigned kMigStripeBits = 10;  // 1024 stripes
+  std::atomic<bool> migrating_{false};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> mig_seq_;
   std::atomic<std::size_t> sample_interval_{4096};
   mutable std::mutex histogram_mu_;  // guards last_histogram_
   mutable std::vector<std::size_t> last_histogram_;

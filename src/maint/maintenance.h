@@ -15,18 +15,21 @@
 //    each per cycle.  A cycle that produced useful work (items or bytes)
 //    loops immediately; an idle cycle sleeps `Options::interval` so a quiet
 //    system costs one bounded scan per interval.  `RunPass()` is the
-//    synchronous variant (tests, maintenance windows between write bursts):
-//    it cycles until every task reports itself at rest.
+//    synchronous variant (tests, deterministic drains): it cycles until
+//    every task reports itself at rest.
 //
 // Concurrency contract: all tasks run on the one scheduler thread, so tasks
-// never race each other.  Tasks that only touch the pool's shared reclaim
-// state (PoolDrainTask) are safe under any foreground load.  Tasks that
-// perform *structural* index writes — the drained-range sweep and the
-// rebalance policy (maint/tasks.h) — inherit the quiesced-writer contract of
-// the operations they wrap (`ShardedIndex::Rebalance`, the non-concurrent
-// fastfair-reclaim kind): run them while foreground writers are paused
-// (maintenance windows) or absent; concurrent readers are always fine, the
-// tasks pin the reclamation epoch exactly like foreground ops do.
+// never race each other.  Against the *foreground*, every task is safe
+// under live readers AND writers — there is no "maintenance window" to
+// schedule around.  PoolDrainTask only touches the pool's shared reclaim
+// state; the drained-range sweep rides the split/unlink interlock
+// (core/btree_impl.h), and `ShardedIndex::Rebalance` dual-routes racing
+// writers through its migration window (DESIGN.md §4.3) — both proven by
+// the seeded race sweep in tests/concurrent_mutation_test.cc.  The only
+// structural caveat left is the inner index's own concurrency support: an
+// inherently single-writer inner kind (wort, wbtree) keeps its contract,
+// maintenance or not.  All tasks pin the reclamation epoch exactly like
+// foreground ops do.
 //
 // Shutdown: `Stop()` interrupts *between* quanta, never inside one, then
 // joins — an in-flight rebalance migration always completes its
@@ -164,7 +167,7 @@ class MaintenanceThread {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Synchronous maintenance pass on the *caller's* thread (tests, and
-  /// maintenance windows between foreground write bursts): cycles the tasks
+  /// callers that want a deterministic drain point): cycles the tasks
   /// until a full cycle reports no useful work with every task at rest, or
   /// `max_cycles` elapse. Returns the number of useful quanta run. Must not
   /// be called while the scheduler thread runs.

@@ -7,12 +7,14 @@
 //  * `ImbalancePolicyTask` (index): watches ShardedIndex's sampled
 //    per-shard histograms and triggers Rebalance() when the imbalance
 //    ratio crosses TaskOptions::rebalance_threshold — the policy loop the
-//    ROADMAP's "online rebalance policy" item asked for. Inherits
-//    Rebalance's quiesced-writer contract.
+//    ROADMAP's "online rebalance policy" item asked for. Safe under live
+//    writers: Rebalance dual-routes racing upserts through its migration
+//    window (index/sharded.h).
 //  * `SweepTask<Tree>` (core): walks the tree's leaf chain a budgeted
 //    quantum at a time (BTreeT::SweepDrainedRanges), unlinking and freeing
 //    abandoned drained runs without waiting for a writer to stumble on
-//    them. Inherits the reclaim kind's single-writer contract.
+//    them. Safe under live writers via the split/unlink interlock
+//    (core/btree_impl.h).
 //
 // Indexes contribute the right task set for their structure via
 // Index::CollectMaintenanceTasks (index/index.h); pm::Pool has no registry,
@@ -37,7 +39,7 @@ namespace fastfair::maint {
 /// The one assembly recipe every caller shares (benches, tests,
 /// Db::StartMaintenance): a scheduler preloaded with `pool`'s drain task
 /// plus every task each index in `indexes` contributes. Not started —
-/// the caller picks Start() (background) or RunPass() (windows).
+/// the caller picks Start() (background) or RunPass() (synchronous).
 std::unique_ptr<MaintenanceThread> MakeMaintenanceThread(
     pm::Pool* pool, const std::vector<Index*>& indexes,
     const TaskOptions& opts, std::chrono::microseconds interval);

@@ -40,6 +40,9 @@ TEST(IndexFactory, ConcurrencySupportFlags) {
   EXPECT_TRUE(MakeIndex("blink", &pool)->supports_concurrency());
   EXPECT_TRUE(MakeIndex("sharded-fastfair", &pool)->supports_concurrency());
   EXPECT_TRUE(MakeIndex("hashed-fastfair", &pool)->supports_concurrency());
+  // Reclaiming kind: multi-writer unlink is covered by the split/unlink
+  // interlock (core/btree_impl.h), so it is registered concurrent.
+  EXPECT_TRUE(MakeIndex("fastfair-reclaim", &pool)->supports_concurrency());
   EXPECT_FALSE(MakeIndex("wbtree", &pool)->supports_concurrency());
   EXPECT_FALSE(MakeIndex("wort", &pool)->supports_concurrency());
 }

@@ -19,6 +19,7 @@
 #include "pm/persist.h"
 #include "pm/pool.h"
 #include "pm/reclaim.h"
+#include "test_util.h"
 
 namespace fastfair {
 namespace {
@@ -113,13 +114,10 @@ TEST(PoolDrain, BackgroundThreadRetiresParkedLimboWithoutAWriter) {
   MaintenanceThread mt(mo);
   mt.AddTask(std::make_unique<maint::PoolDrainTask>(&pool, TaskOptions{}));
   mt.Start();
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (pool.limbo_bytes() != 0 &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::yield();
-  }
+  const bool drained =
+      testutil::PollUntil([&] { return pool.limbo_bytes() == 0; });
   mt.Stop();
+  EXPECT_TRUE(drained);
   EXPECT_EQ(pool.limbo_bytes(), 0u);
   const auto reports = mt.StatsSnapshot();
   ASSERT_EQ(reports.size(), 1u);

@@ -1,0 +1,122 @@
+// Seeded, replayable race-schedule harness for the concurrency suites.
+//
+// Purpose: drive N writer threads against live maintenance (Rebalance(),
+// drained-range sweeps) through MANY distinct interleavings, reproducibly
+// enough that a failure replays from one 64-bit seed. A portable test
+// cannot schedule the OS deterministically; what it CAN derive
+// deterministically from a seed is everything the threads *do*: each
+// worker's op stream, key choices, and injected perturbation points
+// (yields, pause bursts, dummy-work spins) all come from
+// SplitMix64(seed, worker). Sweeping ~1000 seeds explores widely
+// different phase alignments between the writers and the maintenance
+// thread; replaying one seed re-issues the identical op + perturbation
+// streams, which re-hits schedule-dependent bugs with high probability —
+// and, because the op streams are deterministic, the expected final
+// index state is exactly computable no matter how the OS interleaved.
+//
+// Replay: the sweeps read FASTFAIR_RACE_SEED. When set, a sweep runs
+// exactly that one seed (with the full per-seed verification); failing
+// assertions print the seed. One-command replay:
+//
+//   FASTFAIR_RACE_SEED=<seed> ./build/concurrent_mutation_test
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fastfair::race {
+
+/// SplitMix64: tiny, seedable, and statistically fine for schedule
+/// diversity. Distinct streams per (seed, worker) via a golden-ratio
+/// stream offset.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0)
+      : state_(seed + stream * 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  /// True with probability percent/100.
+  bool Chance(unsigned percent) { return Below(100) < percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Seed-driven scheduling noise: mostly nothing (keep throughput up, the
+/// races need overlap), sometimes a yield (forces a reschedule point),
+/// sometimes a short dummy spin (desynchronizes lockstep loops without
+/// giving up the core). Called between ops by every race-suite worker.
+inline void Perturb(Rng& rng) {
+  const std::uint64_t r = rng.Below(16);
+  if (r < 12) return;
+  if (r < 14) {
+    std::this_thread::yield();
+    return;
+  }
+  volatile std::uint64_t sink = 0;
+  const std::uint64_t spins = 1 + rng.Below(64);
+  for (std::uint64_t i = 0; i < spins; ++i) sink = sink + i;
+}
+
+/// Start line: workers spin until every thread has arrived, so the racing
+/// phases actually overlap instead of running in spawn order.
+class StartLine {
+ public:
+  explicit StartLine(std::size_t parties) : waiting_(parties) {}
+
+  /// Called by each worker; returns when all parties have arrived.
+  void ArriveAndWait() {
+    waiting_.fetch_sub(1, std::memory_order_acq_rel);
+    while (waiting_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<std::size_t> waiting_;
+};
+
+/// Spawns `n` workers, releases them through a shared StartLine, joins.
+/// `fn(worker)` runs on the worker's thread after the start line drops.
+template <class Fn>
+void RunWorkers(std::size_t n, Fn&& fn) {
+  StartLine line(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    threads.emplace_back([&, w] {
+      line.ArriveAndWait();
+      fn(w);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+/// The seed list for a sweep: FASTFAIR_RACE_SEED (replay mode) pins the
+/// sweep to that one seed; otherwise seeds base .. base+count-1. Distinct
+/// `base` per sweep keeps the suites' schedule spaces disjoint.
+inline std::vector<std::uint64_t> SweepSeeds(std::size_t count,
+                                             std::uint64_t base) {
+  if (const char* env = std::getenv("FASTFAIR_RACE_SEED")) {
+    return {std::strtoull(env, nullptr, 0)};
+  }
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t i = 0; i < count; ++i) seeds[i] = base + i;
+  return seeds;
+}
+
+}  // namespace fastfair::race

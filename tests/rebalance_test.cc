@@ -232,6 +232,61 @@ TEST(ShardedRebalance, StopMidRebalanceLosesNoKeys) {
   }
 }
 
+TEST(ShardedRebalance, ScanIteratorOutlivesRebalance) {
+  // An open ScanIterator pins its epoch for its whole lifetime, and
+  // Rebalance's entry grace period waits on every pin: a Rebalance issued
+  // mid-scan therefore parks until the snapshot drains, and the iterator
+  // observes the pristine pre-migration state — every key exactly once, in
+  // global order, with its original value. No maintenance window, no
+  // iterator invalidation.
+  pm::Pool pool(std::size_t{1} << 30);
+  auto idx = MakeSharded(&pool, 8, "fastfair-reclaim");
+  constexpr std::uint64_t kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    idx->Insert(ClusteredKey(i), i + 7);
+  }
+  ASSERT_GT(ImbalanceRatio(idx->ShardEntryCounts()), 2.0);
+
+  auto it = idx->NewScanIterator(0);
+  core::Record rec;
+  std::uint64_t seen = 0;
+  for (; seen < kN / 3; ++seen) {  // partially consumed when Rebalance lands
+    ASSERT_TRUE(it->Next(&rec));
+    ASSERT_EQ(rec.key, ClusteredKey(seen));
+    ASSERT_EQ(rec.ptr, seen + 7);
+  }
+
+  std::atomic<bool> done{false};
+  ShardedIndex::RebalanceResult result;
+  std::thread reb([&] {
+    result = idx->Rebalance();
+    done.store(true, std::memory_order_release);
+  });
+  // The rebalance must park at its entry grace period while the snapshot
+  // is open (deterministic: the pin is held right now, so `done` cannot
+  // flip until the iterator drains — the sleep only gives the thread time
+  // to reach the wait).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(done.load(std::memory_order_acquire))
+      << "Rebalance completed while a pinned snapshot was open";
+
+  for (; it->Next(&rec); ++seen) {  // drain: the untouched snapshot
+    ASSERT_EQ(rec.key, ClusteredKey(seen));
+    ASSERT_EQ(rec.ptr, seen + 7);
+  }
+  EXPECT_EQ(seen, kN);
+  it.reset();  // exhausted Next() already dropped the pin; destruction too
+
+  reb.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_GT(result.moved, 0u);
+  EXPECT_LT(result.imbalance_after, 2.0);
+  EXPECT_EQ(idx->CountEntries(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(idx->Search(ClusteredKey(i)), i + 7);
+  }
+}
+
 TEST(ShardedRebalance, ExplicitBoundaryIndexRebalancesToo) {
   // TPC-C-style: constructed with explicit boundaries, rebalanced when the
   // observed distribution disagrees with them.

@@ -17,6 +17,7 @@
 #include "index/index.h"
 #include "pm/persist.h"
 #include "server/service.h"
+#include "test_util.h"
 
 namespace fastfair {
 namespace {
@@ -346,6 +347,7 @@ TEST(Service, MultiClientShutdownRace) {
 
   std::atomic<std::uint64_t> bad_status{0};
   std::atomic<std::uint64_t> admitted_total{0};
+  std::atomic<std::uint64_t> admitted_live{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
@@ -372,6 +374,7 @@ TEST(Service, MultiClientShutdownRace) {
           if (s->Put(k, V1(k), &cmp)) {
             armed[slot] = true;
             ++n;
+            admitted_live.fetch_add(1, std::memory_order_relaxed);
             break;
           }
           if (cmp.status() == ReqStatus::kShutdown) {
@@ -392,7 +395,11 @@ TEST(Service, MultiClientShutdownRace) {
       admitted_total.fetch_add(n);
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Stop only once real traffic has flowed: a fixed sleep can admit zero
+  // ops on a loaded/ASan machine, which makes the shutdown race vacuous
+  // (and the `rejected_shutdown >= 4` assertion below flaky).
+  ASSERT_TRUE(testutil::PollUntil(
+      [&] { return admitted_live.load(std::memory_order_relaxed) >= 4000; }));
   svc.Stop();
   for (auto& t : clients) t.join();
 

@@ -1,0 +1,30 @@
+// Shared helpers for the test suites.
+//
+// PollUntil replaces fixed sleep_for waits in the concurrency tests: a
+// sleep that is "long enough" on a fast machine is timing-flaky under
+// ASan (everything runs 2-5x slower) and wastes wall clock everywhere
+// else. Polling a condition converges as fast as the condition does and
+// only pays the full timeout when the test would have failed anyway.
+
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace fastfair::testutil {
+
+/// Polls `cond` until it returns true or `timeout` elapses; returns the
+/// final evaluation (so a last-instant success still passes). Yields
+/// between probes — the waited-on work runs on other threads.
+template <class Cond>
+bool PollUntil(Cond&& cond,
+               std::chrono::milliseconds timeout = std::chrono::seconds(10)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() >= deadline) return cond();
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+}  // namespace fastfair::testutil
