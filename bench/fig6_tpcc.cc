@@ -132,6 +132,10 @@ int main(int argc, char** argv) {
         pm::SetConfig(pm::Config{});  // populate at DRAM speed
         pm::Pool pool(std::size_t{8} << 30);
         cfg.populate_batch = opt.batch;
+        // --batch also turns on the transactions' grouped range reads:
+        // Delivery / Stock-Level / Order-Status route their NEW-ORDER and
+        // ORDER-LINE ranges through Index::ScanBatch (tpcc/txn.cc).
+        cfg.batch_scans = opt.batch > 1;
         tpcc::Db db(kind, cfg, &pool);
         VerifyPopulated(db, cfg);
         if (opt.maintenance) {

@@ -11,6 +11,7 @@
 // oversubscription, and that no workload loses correctness under
 // contention. Run on a multi-core box for the paper's scaling curves.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -143,6 +144,47 @@ PhaseResult RunMixed(Index* idx, const std::vector<bench::Op>& ops,
   return Finish(ops.size(), wall, hp);
 }
 
+// Range-scan phase: every op collects up to kScanLen records from its
+// start key. group <= 1 walks scalar (one descent + chain walk per op);
+// group > 1 routes the same ops through Index::ScanBatch in groups of
+// that size, sharing grouped descents and interleaved chain drains.
+// Latency, when recorded, is per scalar op / per executed group.
+PhaseResult RunScanPhase(Index* idx, const std::vector<Key>& starts,
+                         int threads, std::size_t group, bool latency) {
+  constexpr std::size_t kScanLen = 100;
+  std::vector<bench::LatencyHistogram> hists(
+      latency ? static_cast<std::size_t>(threads) : 0);
+  const std::size_t g_max = std::max<std::size_t>(group, 1);
+  const std::uint64_t wall = bench::RunThreads(
+      threads, starts.size(), [&](int t, std::size_t b, std::size_t e) {
+        std::vector<core::Record> buf(kScanLen * g_max);
+        std::vector<ScanOp> ops(g_max);
+        std::vector<std::size_t> counts(g_max);
+        bench::LatencyHistogram* h =
+            latency ? &hists[static_cast<std::size_t>(t)] : nullptr;
+        std::uint64_t start = h != nullptr ? pm::NowNs() : 0;
+        for (std::size_t i = b; i < e;) {
+          if (group <= 1) {
+            idx->Scan(starts[i], kScanLen, buf.data());
+            ++i;
+          } else {
+            const std::size_t g = std::min(group, e - i);
+            for (std::size_t j = 0; j < g; ++j) {
+              ops[j] = {starts[i + j], kScanLen, buf.data() + j * kScanLen};
+            }
+            idx->ScanBatch(ops.data(), g, counts.data());
+            i += g;
+          }
+          if (h != nullptr) {
+            const std::uint64_t end = pm::NowNs();
+            h->Record(end - start);
+            start = end;
+          }
+        }
+      });
+  return Finish(starts.size(), wall, latency ? &hists : nullptr);
+}
+
 /// Table row tail: throughput plus, under --latency, the four percentile
 /// columns in microseconds.
 std::vector<std::string> ResultCells(const PhaseResult& r, bool latency) {
@@ -253,6 +295,31 @@ int main(int argc, char** argv) {
       MaybeRebalance(idx.get(), &pool, opt);
       pm::SetConfig(cfg);
       add_row("mixed", kind, t, RunMixed(idx.get(), mixed, t, opt.latency));
+    }
+  }
+  // Scan rows (each op reads ~100 records, so 1/100th as many ops): the
+  // scalar leaf-chain walk, plus — with --batch > 1 — the same starts
+  // through ScanBatch in groups of --batch.
+  const std::size_t scan_n =
+      std::min(extra.size(), std::max<std::size_t>(preload_n / 100, 64));
+  const std::vector<Key> scan_starts(extra.begin(),
+                                     extra.begin() + static_cast<long>(scan_n));
+  for (const auto& kind : search_kinds) {
+    pm::SetConfig(pm::Config{});
+    pm::Pool pool(std::size_t{8} << 30);
+    auto idx = MakeIndex(kind, &pool);
+    bench::LoadIndex(idx.get(), preload);
+    MaybeRebalance(idx.get(), &pool, opt);
+    pm::SetConfig(cfg);
+    for (const int t : opt.threads) {
+      add_row("scan", kind, t,
+              RunScanPhase(idx.get(), scan_starts, t, 1, opt.latency));
+      if (opt.batch > 1) {
+        add_row("scan-batch", kind, t,
+                RunScanPhase(idx.get(), scan_starts, t,
+                             static_cast<std::size_t>(opt.batch),
+                             opt.latency));
+      }
     }
   }
   pm::SetConfig(pm::Config{});

@@ -10,8 +10,9 @@
 // (flush/fence/read-annotation/read-stall per op) the perf trajectory
 // tracks. BENCH_micro_ops.json at the repo root is the committed baseline;
 // the CI perf-smoke job regenerates it as a build artifact and gates on
-// the deterministic counter ratio: BM_TreeSearchBatch must pay >= 2x fewer
-// serialized read stalls per op than BM_TreeSearch.
+// the deterministic counter ratios: BM_TreeSearchBatch must pay >= 2x fewer
+// serialized read stalls per op than BM_TreeSearch, and BM_TreeScanBatch
+// >= 2x fewer per scan than the scalar BM_TreeScan100 loop.
 
 #include <benchmark/benchmark.h>
 
@@ -276,11 +277,48 @@ void BM_TreeScan100(benchmark::State& state) {
   for (const Key k : keys) tree.Insert(k, 2 * k + 1);
   core::Record out[100];
   Rng rng(7);
+  const auto before = pm::Stats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.Scan(rng.Next(), 100, out));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  SetPmCounters(state, pm::Stats() - before,
+                static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_TreeScan100);
+
+// Same workload as BM_TreeScan100 — 100-record scans from random starts —
+// but kBatchGroup scans per ScanBatch call: grouped descents to the start
+// leaves plus interleaved leaf-chain drains, so the group pays one grouped
+// read stall per wave of sibling hops where the scalar loop pays one per
+// hop per scan. The perf-smoke gate reads these two rows' read_stalls_per_op
+// (>= 2x apart, deterministic counters).
+void BM_TreeScanBatch(benchmark::State& state) {
+  pm::SetConfig(pm::Config{});
+  pm::Pool pool(std::size_t{4} << 30);
+  core::BTree tree(&pool);
+  const auto keys = bench::UniformKeys(200000, 5);
+  for (const Key k : keys) tree.Insert(k, 2 * k + 1);
+  constexpr std::size_t kGroup = core::BTree::kBatchGroup;
+  constexpr std::size_t kScanLen = 100;
+  std::vector<core::Record> out(kGroup * kScanLen);
+  ScanOp ops[kGroup];
+  std::size_t counts[kGroup];
+  Rng rng(7);
+  const auto before = pm::Stats();
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < kGroup; ++j) {
+      ops[j] = {rng.Next(), kScanLen, out.data() + j * kScanLen};
+    }
+    tree.ScanBatch(ops, kGroup, counts);
+    benchmark::DoNotOptimize(counts);
+  }
+  const double items =
+      static_cast<double>(state.iterations()) * static_cast<double>(kGroup);
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  SetPmCounters(state, pm::Stats() - before, items);
+}
+BENCHMARK(BM_TreeScanBatch);
 
 // --- reporting ---------------------------------------------------------------
 
@@ -398,6 +436,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "GATE FAIL micro_ops: batched read stalls/op %.3f not "
                    ">=2x below scalar %.3f\n",
+                   b, s);
+      return 1;
+    }
+  }
+
+  // Same contract for range scans: the grouped-descent + interleaved
+  // leaf-chain drain must pay at least 2x fewer serialized read stalls per
+  // scan than the scalar Scan loop (one grouped stall per wave of sibling
+  // hops instead of one per hop per scan).
+  const RunRecord* scan_scalar = nullptr;
+  const RunRecord* scan_batched = nullptr;
+  for (const auto& r : reporter.records) {
+    if (r.name == "BM_TreeScan100") scan_scalar = &r;
+    if (r.name == "BM_TreeScanBatch") scan_batched = &r;
+  }
+  if (scan_scalar != nullptr && scan_batched != nullptr) {
+    const double s = CounterOf(*scan_scalar, "read_stalls_per_op");
+    const double b = CounterOf(*scan_batched, "read_stalls_per_op");
+    if (b * 2.0 > s) {
+      std::fprintf(stderr,
+                   "GATE FAIL micro_ops: ScanBatch read stalls/op %.3f not "
+                   ">=2x below scalar scan %.3f\n",
                    b, s);
       return 1;
     }

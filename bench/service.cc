@@ -58,14 +58,26 @@ struct ModeResult {
   double avg_group = 0.0;        // saturation phase mean group size
   std::uint64_t timeout_flushes = 0, idle_flushes = 0, full_flushes = 0;
   std::uint64_t rejected = 0;    // both phases
-  bench::LatencyHistogram lat;   // low-load phase
+  bench::LatencyHistogram lat;       // low-load phase, point ops
+  bench::LatencyHistogram scan_lat;  // low-load phase, scans (--scan-frac)
 };
 
-// 16 get : 4 put : 1 del, the paper's Mixed ratio, drawn on the fly.
-server::Session* SubmitOp(server::Session* s, Rng& rng, std::size_t i,
-                          Key key, Value value, server::Completion* done) {
+// Records per scan request (--scan-frac); client-owned buffers sized per
+// in-flight slot so completions can land out of submission order.
+constexpr std::uint32_t kScanLen = 100;
+
+// 16 get : 4 put : 1 del, the paper's Mixed ratio, drawn on the fly; with
+// --scan-frac, that fraction of ops is diverted to 100-entry range scans
+// (kScan requests riding the cross-client grouped ScanBatch dispatch).
+// Returns true when the submitted op was a scan (separate latency ledger).
+bool SubmitOp(server::Session* s, Rng& rng, std::size_t i, Key key,
+              Value value, std::uint32_t scan_per_mille,
+              core::Record* scan_buf, server::Completion* done) {
+  if (scan_per_mille != 0 && rng.NextBounded(1000) < scan_per_mille) {
+    s->Scan(key, kScanLen, scan_buf, done);
+    return true;
+  }
   const std::size_t slot = i % 21;
-  (void)rng;
   if (slot < 16) {
     s->Get(key, done);
   } else if (slot < 20) {
@@ -73,7 +85,7 @@ server::Session* SubmitOp(server::Session* s, Rng& rng, std::size_t i,
   } else {
     s->Del(key, done);
   }
-  return s;
+  return false;
 }
 
 // Closed-loop pipelined drivers over disjoint session slices; returns wall
@@ -83,7 +95,8 @@ std::uint64_t RunSaturation(server::KvService* svc,
                             std::vector<server::Session*>& sessions,
                             std::size_t drivers, std::size_t total_ops,
                             Key stride, std::size_t universe, double theta,
-                            std::uint64_t seed, std::uint64_t* rejected) {
+                            std::uint32_t scan_per_mille, std::uint64_t seed,
+                            std::uint64_t* rejected) {
   std::unique_ptr<bench::ZipfianGenerator> zipf;
   if (theta > 0.0) {
     zipf = std::make_unique<bench::ZipfianGenerator>(universe, theta);
@@ -98,8 +111,10 @@ std::uint64_t RunSaturation(server::KvService* svc,
         Rng rng(seed ^ (0x9e37ull * static_cast<std::uint64_t>(d + 1)));
         constexpr std::size_t kWindow = 256;
         std::vector<server::Completion> win(kWindow);
+        std::vector<core::Record> scan_bufs(kWindow * kScanLen);
         for (std::size_t i = b; i < e; ++i) {
-          server::Completion& c = win[i % kWindow];
+          const std::size_t slot = i % kWindow;
+          server::Completion& c = win[slot];
           if (i - b >= kWindow) {
             const server::ReqStatus st = c.Wait();
             if (st >= server::ReqStatus::kRejectedQueueFull) ++rej[d];
@@ -108,7 +123,8 @@ std::uint64_t RunSaturation(server::KvService* svc,
           const std::uint64_t rank =
               zipf ? zipf->Next(rng) : rng.NextBounded(universe);
           const Key key = (rank + 1) * stride;
-          SubmitOp(mine[i % per], rng, i, key, 2 * key + 1, &c);
+          SubmitOp(mine[i % per], rng, i, key, 2 * key + 1, scan_per_mille,
+                   scan_bufs.data() + slot * kScanLen, &c);
         }
         for (std::size_t i = (e - b < kWindow ? b : e - kWindow); i < e; ++i) {
           const server::ReqStatus st = win[i % kWindow].Wait();
@@ -126,7 +142,9 @@ std::uint64_t RunSaturation(server::KvService* svc,
 void RunOpenLoop(std::vector<server::Session*>& sessions,
                  std::size_t total_ops, std::uint64_t interval_ns,
                  Key stride, std::size_t universe, double theta,
-                 std::uint64_t seed, bench::LatencyHistogram* hist,
+                 std::uint32_t scan_per_mille, std::uint64_t seed,
+                 bench::LatencyHistogram* hist,
+                 bench::LatencyHistogram* scan_hist,
                  std::uint64_t* rejected) {
   std::unique_ptr<bench::ZipfianGenerator> zipf;
   if (theta > 0.0) {
@@ -136,13 +154,16 @@ void RunOpenLoop(std::vector<server::Session*>& sessions,
   constexpr std::size_t kRing = 4096;
   std::vector<server::Completion> ring(kRing);
   std::vector<std::uint64_t> arrival(kRing, 0);
+  std::vector<core::Record> scan_bufs(kRing * kScanLen);
+  std::vector<bool> was_scan(kRing, false);
   auto harvest = [&](std::size_t slot) {
     const server::ReqStatus st = ring[slot].Wait();
     if (st >= server::ReqStatus::kRejectedQueueFull) {
       ++*rejected;
     } else {
       // complete_ns and the arrival stamp share pm::NowNs.
-      hist->Record(ring[slot].complete_ns() - arrival[slot]);
+      bench::LatencyHistogram* h = was_scan[slot] ? scan_hist : hist;
+      h->Record(ring[slot].complete_ns() - arrival[slot]);
     }
     ring[slot].Reset();
   };
@@ -160,8 +181,10 @@ void RunOpenLoop(std::vector<server::Session*>& sessions,
         zipf ? zipf->Next(rng) : rng.NextBounded(universe);
     const Key key = (rank + 1) * stride;
     arrival[slot] = next;
-    SubmitOp(sessions[i % sessions.size()], rng, i, key, 2 * key + 1,
-             &ring[slot]);
+    was_scan[slot] =
+        SubmitOp(sessions[i % sessions.size()], rng, i, key, 2 * key + 1,
+                 scan_per_mille, scan_bufs.data() + slot * kScanLen,
+                 &ring[slot]);
     next += interval_ns;
   }
   const std::size_t tail = total_ops < kRing ? total_ops : kRing;
@@ -175,6 +198,8 @@ ModeResult RunMode(bool scalar, const bench::Options& opt,
   ModeResult r;
   r.name = scalar ? "scalar" : "batched";
   const std::size_t n = preload.size();
+  const auto scan_per_mille =
+      static_cast<std::uint32_t>(opt.scan_frac * 1000.0);
 
   pm::SetConfig(pm::Config{});
   pm::Pool pool(std::size_t{4} << 30);
@@ -219,7 +244,7 @@ ModeResult RunMode(bool scalar, const bench::Options& opt,
     svc.Start();
     const std::uint64_t wall =
         RunSaturation(&svc, sessions, drivers, n, stride, n, opt.skew,
-                      opt.seed, &r.rejected);
+                      scan_per_mille, opt.seed, &r.rejected);
     svc.Stop();
     const server::ServiceStats st = svc.Stats();
     r.kops = bench::Kops(st.executed, wall);
@@ -249,7 +274,8 @@ ModeResult RunMode(bool scalar, const bench::Options& opt,
     const std::size_t lat_ops =
         n / 5 < 10000 ? 10000 : (n / 5 > 50000 ? 50000 : n / 5);
     RunOpenLoop(sessions, lat_ops, /*interval_ns=*/50000, stride, n,
-                opt.skew, opt.seed ^ 0xfeedull, &r.lat, &r.rejected);
+                opt.skew, scan_per_mille, opt.seed ^ 0xfeedull, &r.lat,
+                &r.scan_lat, &r.rejected);
     svc.Stop();
   }
   pm::SetConfig(pm::Config{});
@@ -257,7 +283,7 @@ ModeResult RunMode(bool scalar, const bench::Options& opt,
 }
 
 bool WriteJson(const std::string& path, const std::vector<ModeResult>& modes,
-               double stall_ratio, double tput_ratio) {
+               double stall_ratio, double tput_ratio, bool with_scans) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_service: cannot write %s\n", path.c_str());
@@ -282,7 +308,16 @@ bool WriteJson(const std::string& path, const std::vector<ModeResult>& modes,
     out << buf;
     s.clear();
     m.lat.AppendJson(&s);
-    out << s << "}" << (i + 1 < modes.size() ? "," : "") << "\n";
+    out << s;
+    if (with_scans) {
+      // Scan requests get their own tail: 100-entry leaf-chain drains are
+      // a different service-time class than point ops.
+      out << ", \"scan_latency\": ";
+      s.clear();
+      m.scan_lat.AppendJson(&s);
+      out << s;
+    }
+    out << "}" << (i + 1 < modes.size() ? "," : "") << "\n";
   }
   char tail[128];
   std::snprintf(tail, sizeof(tail),
@@ -335,18 +370,33 @@ int main(int argc, char** argv) {
   const ModeResult& sc = modes[0];
   const ModeResult& ba = modes[1];
 
-  bench::Table table({"mode", "Kops_per_sec", "read_stalls_per_op",
-                      "avg_group", "p50_us", "p99_us", "p999_us",
-                      "rejected"});
+  const bool with_scans = opt.scan_frac > 0.0;
+  std::vector<std::string> cols = {"mode",      "Kops_per_sec",
+                                   "read_stalls_per_op", "avg_group",
+                                   "p50_us",    "p99_us",
+                                   "p999_us",   "rejected"};
+  if (with_scans) {
+    // Scans are a separate service-time class (leaf-chain drains, not one
+    // descent); give their low-load tail its own columns.
+    cols.insert(cols.end(), {"scan_p50_us", "scan_p99_us", "scan_p999_us"});
+  }
+  bench::Table table(cols);
   for (const ModeResult& m : modes) {
     const auto s = m.lat.Summarize();
-    table.AddRow({m.name, bench::Table::Num(m.kops),
-                  bench::Table::Num(m.stalls_per_op),
-                  bench::Table::Num(m.avg_group),
-                  bench::Table::Num(static_cast<double>(s.p50_ns) / 1e3),
-                  bench::Table::Num(static_cast<double>(s.p99_ns) / 1e3),
-                  bench::Table::Num(static_cast<double>(s.p999_ns) / 1e3),
-                  std::to_string(m.rejected)});
+    std::vector<std::string> row = {
+        m.name, bench::Table::Num(m.kops),
+        bench::Table::Num(m.stalls_per_op), bench::Table::Num(m.avg_group),
+        bench::Table::Num(static_cast<double>(s.p50_ns) / 1e3),
+        bench::Table::Num(static_cast<double>(s.p99_ns) / 1e3),
+        bench::Table::Num(static_cast<double>(s.p999_ns) / 1e3),
+        std::to_string(m.rejected)};
+    if (with_scans) {
+      const auto ss = m.scan_lat.Summarize();
+      row.push_back(bench::Table::Num(static_cast<double>(ss.p50_ns) / 1e3));
+      row.push_back(bench::Table::Num(static_cast<double>(ss.p99_ns) / 1e3));
+      row.push_back(bench::Table::Num(static_cast<double>(ss.p999_ns) / 1e3));
+    }
+    table.AddRow(row);
   }
   if (opt.csv) {
     table.PrintCsv();
@@ -362,7 +412,7 @@ int main(int argc, char** argv) {
               stall_ratio, tput_ratio);
 
   if (!json_path.empty() &&
-      !WriteJson(json_path, modes, stall_ratio, tput_ratio)) {
+      !WriteJson(json_path, modes, stall_ratio, tput_ratio, with_scans)) {
     return 1;
   }
 

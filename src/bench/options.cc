@@ -130,6 +130,14 @@ Options ParseOptions(int argc, char** argv) {
         std::fprintf(stderr, "--quota must be a non-negative int\n");
         std::exit(2);
       }
+    } else if (const char* v = val("--scan-frac=")) {
+      char* end = nullptr;
+      o.scan_frac = std::strtod(v, &end);
+      if (end == v || *end != '\0' ||
+          !(o.scan_frac >= 0.0 && o.scan_frac < 1.0)) {
+        std::fprintf(stderr, "--scan-frac must be in [0, 1)\n");
+        std::exit(2);
+      }
     } else if (a == "--latency") {
       o.latency = true;
     } else if (a == "--wc") {
@@ -142,7 +150,7 @@ Options ParseOptions(int argc, char** argv) {
           "--shards=S --sharding=range|hash|adaptive --skew=THETA "
           "--churn=R --maintenance --rebalance-threshold=R "
           "--maint-interval-us=N --batch=N --service-workers=N "
-          "--batch-timeout-us=N --quota=OPS --latency --wc "
+          "--batch-timeout-us=N --quota=OPS --scan-frac=F --latency --wc "
           "--simd=scalar|sse2|avx2|avx512|neon|auto --csv --seed=S\n");
       std::exit(0);
     } else {

@@ -46,6 +46,12 @@
 //                            cross-client group before flushing it
 //   --quota=<ops/sec>        per-tenant token-bucket admission quota for
 //                            the service tier; 0 (default) = unlimited
+//   --scan-frac=<f>          fraction of bench_service's open-loop ops
+//                            submitted as range scans (kScan requests, 100
+//                            entries each), 0 <= f < 1; scans ride the
+//                            cross-client grouped ScanBatch dispatch and
+//                            get their own percentile columns under
+//                            --latency. Default 0 (point ops only)
 //   --latency                record per-op latency histograms (fig7) and
 //                            print p50/p90/p99/p999 alongside throughput
 //   --csv                    machine-readable output
@@ -76,6 +82,7 @@ struct Options {
   std::size_t service_workers = 8;     // --service-workers=N (bench_service)
   std::uint64_t batch_timeout_us = 100;  // --batch-timeout-us=N
   std::uint64_t quota = 0;  // --quota=OPS per tenant/sec; 0 = unlimited
+  double scan_frac = 0.0;   // --scan-frac=F: scan share of service op mix
   bool latency = false;     // --latency: per-op latency histograms
   bool wc = false;        // --wc: relaxed persistency + flush coalescing
   std::string simd = "auto";  // --simd=ISA; pins search kernels (§9.1)

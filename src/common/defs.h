@@ -25,6 +25,21 @@ inline constexpr Value kNoValue = 0;
 /// the index tier, and the service tier's Put replies.
 enum class InsertStatus : std::uint8_t { kInserted, kUpdated };
 
+namespace core {
+struct Record;  // core/node.h: {key, ptr} — the scan output unit
+}  // namespace core
+
+/// One entry of a batched range scan (BTreeT::ScanBatch, Index::ScanBatch):
+/// collect up to `cap` records with key >= min_key, ascending, into the
+/// caller-owned `out` buffer. Shared vocabulary between the core tree, the
+/// index tier, the service tier's Scan requests, and TPC-C's grouped
+/// ORDER-LINE reads.
+struct ScanOp {
+  Key min_key = 0;
+  std::size_t cap = 0;
+  core::Record* out = nullptr;
+};
+
 /// Size of a CPU cache line; the unit of transfer between cache and PM.
 inline constexpr std::size_t kCacheLineSize = 64;
 

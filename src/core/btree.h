@@ -146,6 +146,17 @@ class BTreeT {
   std::size_t ScanRange(Key min_key, Key max_key, Record* out,
                         std::size_t cap) const;
 
+  /// Batched range scans: out_counts[i] = Scan(ops[i].min_key, ops[i].cap,
+  /// ops[i].out) for every i, same per-op semantics and thread-safety as
+  /// Scan. Start keys need not be sorted or distinct; output buffers must
+  /// not alias. Descents to the start leaves run interleaved in groups of
+  /// kBatchGroup (DescendGroup), then the leaf chains drain hand-over-hand:
+  /// each wave collects one leaf per live cursor and prefetches the
+  /// siblings together, charging one grouped read stall per wave
+  /// (pm::AnnotateReadGroup) instead of one per leaf hop per scan.
+  void ScanBatch(const ScanOp* ops, std::size_t n,
+                 std::size_t* out_counts) const;
+
   /// Tree height in levels (1 = a single leaf).
   int Height() const;
 

@@ -941,6 +941,76 @@ std::size_t BTreeT<P>::Scan(Key min_key, std::size_t max_results,
   return ScanRange(min_key, ~std::uint64_t{0}, out, max_results);
 }
 
+template <std::size_t P>
+void BTreeT<P>::ScanBatch(const ScanOp* ops, std::size_t n,
+                          std::size_t* out_counts) const {
+  detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);
+  RealMem m;
+  Record buf[kNodeCapacity];
+  for (std::size_t base = 0; base < n; base += kBatchGroup) {
+    const std::size_t g = std::min(kBatchGroup, n - base);
+    // Grouped descent to the start leaves: one wave per level, leaf
+    // arrivals charged as one grouped stall (exactly SearchBatch's front).
+    Key keys[kBatchGroup];
+    for (std::size_t j = 0; j < g; ++j) keys[j] = ops[base + j].min_key;
+    NodeT* leaves[kBatchGroup];
+    DescendGroup(keys, g, leaves);
+    // Interleaved leaf-chain drain. Each cursor carries the same state the
+    // scalar ScanRange loop keeps — current leaf, emitted count, last key
+    // for split-copy dedup — and a wave collects one leaf per live cursor.
+    // Siblings are loaded via the B-link chain (dead nodes collect zero
+    // records and the chain continues right, so live splits / unlinks /
+    // migration windows are handled exactly like the scalar walk) and
+    // prefetched together; the wave's sibling hops are charged as ONE
+    // grouped read stall before the next wave dereferences any of them.
+    const NodeT* cur[kBatchGroup];
+    std::size_t got[kBatchGroup];
+    Key last[kBatchGroup];
+    bool have_last[kBatchGroup];
+    std::size_t live = 0;
+    for (std::size_t j = 0; j < g; ++j) {
+      got[j] = 0;
+      last[j] = 0;
+      have_last[j] = false;
+      cur[j] = ops[base + j].cap > 0 ? leaves[j] : nullptr;
+      if (cur[j] != nullptr) ++live;
+    }
+    while (live > 0) {
+      std::size_t arrived = 0;
+      for (std::size_t j = 0; j < g; ++j) {
+        const NodeT* leaf = cur[j];
+        if (leaf == nullptr) continue;
+        const ScanOp& op = ops[base + j];
+        const int c = collect_valid_(m, leaf, buf);
+        for (int i = 0; i < c && got[j] < op.cap; ++i) {
+          if (buf[i].key < op.min_key) continue;
+          if (have_last[j] && buf[i].key <= last[j]) continue;  // split copy
+          op.out[got[j]++] = buf[i];
+          last[j] = buf[i].key;
+          have_last[j] = true;
+        }
+        // Sibling load before the cap check, exactly like the scalar
+        // loop's tail: per-op visited-node accounting stays identical to
+        // ScanRange's, so scalar-vs-batched counter ratios compare pure
+        // stall amortization.
+        const NodeT* s = Resolve(Ops::LoadSibling(m, leaf));
+        if (s != nullptr) {
+          PrefetchNode(s);
+          ++arrived;
+        }
+        if (s == nullptr || got[j] >= op.cap) {
+          cur[j] = nullptr;
+          --live;
+          continue;
+        }
+        cur[j] = s;
+      }
+      pm::AnnotateReadGroup(arrived);
+    }
+    for (std::size_t j = 0; j < g; ++j) out_counts[base + j] = got[j];
+  }
+}
+
 // --- introspection ---------------------------------------------------------------
 
 template <std::size_t P>

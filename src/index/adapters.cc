@@ -62,6 +62,16 @@ class Wrap final : public Index {
                    core::Record* out) const override {
     return impl_.Scan(min_key, max_results, out);
   }
+  void ScanBatch(const ScanOp* ops, std::size_t n,
+                 std::size_t* out_counts) const override {
+    // The core tree's grouped-descent + interleaved-drain pipeline when
+    // the structure has one; baselines keep the default per-op loop.
+    if constexpr (requires { impl_.ScanBatch(ops, n, out_counts); }) {
+      impl_.ScanBatch(ops, n, out_counts);
+    } else {
+      Index::ScanBatch(ops, n, out_counts);
+    }
+  }
   std::string_view name() const override { return name_; }
   bool supports_concurrency() const override { return concurrent_; }
   std::size_t CountEntries() const override {
@@ -218,6 +228,13 @@ void Index::InsertBatch(const core::Record* ops, std::size_t n,
   }
 }
 
+void Index::ScanBatch(const ScanOp* ops, std::size_t n,
+                      std::size_t* out_counts) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out_counts[i] = Scan(ops[i].min_key, ops[i].cap, ops[i].out);
+  }
+}
+
 std::size_t Index::CountEntries() const {
   // Batched full scan; correct for any implementation whose Scan returns
   // ascending keys. Restarts one past the last key seen.
@@ -264,7 +281,10 @@ class BatchedScanIterator final : public ScanIterator {
   static constexpr std::size_t kMaxBatch = 256;
 
   void Refill() {
-    n_ = idx_->Scan(next_key_, batch_, buf_);
+    // Route through the batched entry point (a one-op batch) so kinds with
+    // a native ScanBatch pipeline serve iterator refills from it too.
+    const ScanOp op{next_key_, batch_, buf_};
+    idx_->ScanBatch(&op, 1, &n_);
     pos_ = 0;
     if (n_ < batch_) {
       done_ = true;

@@ -184,6 +184,70 @@ std::size_t HashShardedIndex::Scan(Key min_key, std::size_t max_results,
   return n;
 }
 
+void HashShardedIndex::ScanBatch(const ScanOp* ops, std::size_t n,
+                                 std::size_t* out_counts) const {
+  if (n == 0) return;
+  // Every shard may hold keys of every range, so the bounded merge
+  // over-fetches up to `cap` candidates per shard per entry. Materializing
+  // those runs lets each shard serve the whole batch through ONE native
+  // ScanBatch call — grouped descents and hand-over-hand drains inside the
+  // shard — at the price of scratch memory; a batch too large for the
+  // budget keeps the streaming per-op merge (identical results).
+  constexpr std::size_t kMergeScratchMax = std::size_t{1} << 16;  // records
+  const std::size_t n_shards = shards_.size();
+  std::size_t total_cap = 0;
+  for (std::size_t i = 0; i < n; ++i) total_cap += ops[i].cap;
+  if (total_cap == 0) {
+    for (std::size_t i = 0; i < n; ++i) out_counts[i] = 0;
+    return;
+  }
+  if (total_cap > kMergeScratchMax / n_shards) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out_counts[i] = Scan(ops[i].min_key, ops[i].cap, ops[i].out);
+    }
+    return;
+  }
+  // Scratch layout: shard s's run for entry i lives at
+  // runs[s * total_cap + prefix[i]], length run_len[s * n + i].
+  std::vector<std::size_t> prefix(n);
+  for (std::size_t i = 0, off = 0; i < n; ++i) {
+    prefix[i] = off;
+    off += ops[i].cap;
+  }
+  std::vector<core::Record> runs(n_shards * total_cap);
+  std::vector<std::size_t> run_len(n_shards * n);
+  std::vector<ScanOp> shard_ops(n);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_ops[i] = {ops[i].min_key, ops[i].cap,
+                      runs.data() + s * total_cap + prefix[i]};
+    }
+    shards_[s]->ScanBatch(shard_ops.data(), n, run_len.data() + s * n);
+  }
+  // Per-entry k-way merge of its per-shard sorted runs. Keys are unique
+  // across shards (hash routing), so a plain min-select suffices.
+  std::vector<std::size_t> cur(n_shards);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(cur.begin(), cur.end(), 0);
+    std::size_t got = 0;
+    while (got < ops[i].cap) {
+      std::size_t best = n_shards;
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        if (cur[s] >= run_len[s * n + i]) continue;
+        const Key k = runs[s * total_cap + prefix[i] + cur[s]].key;
+        if (best == n_shards ||
+            k < runs[best * total_cap + prefix[i] + cur[best]].key) {
+          best = s;
+        }
+      }
+      if (best == n_shards) break;
+      ops[i].out[got++] = runs[best * total_cap + prefix[i] + cur[best]];
+      ++cur[best];
+    }
+    out_counts[i] = got;
+  }
+}
+
 std::size_t HashShardedIndex::CountEntries() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->CountEntries();

@@ -61,6 +61,15 @@ class HashShardedIndex final : public Index {
   std::size_t Scan(Key min_key, std::size_t max_results,
                    core::Record* out) const override;
 
+  /// Batched scans: hash routing interleaves every range across all
+  /// shards, so each shard serves the whole batch through one native
+  /// ScanBatch call (grouped descents inside the shard) into per-op
+  /// scratch runs, then each batch entry k-way-merges its per-shard runs.
+  /// A batch whose scratch would exceed a bounded budget falls back to
+  /// the streaming per-op merge (same results, scalar descents).
+  void ScanBatch(const ScanOp* ops, std::size_t n,
+                 std::size_t* out_counts) const override;
+
   /// Same relaxed concurrent semantics as ShardedIndex::CountEntries:
   /// shard sums taken non-atomically, exact only at quiescence.
   std::size_t CountEntries() const override;

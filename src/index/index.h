@@ -101,6 +101,17 @@ class Index {
   virtual std::size_t Scan(Key min_key, std::size_t max_results,
                            core::Record* out) const = 0;
 
+  /// Batched range scans: out_counts[i] = Scan(ops[i].min_key, ops[i].cap,
+  /// ops[i].out) for every i. Start keys need not be sorted or distinct;
+  /// the per-op output buffers must not alias. Same default-loop / native-
+  /// override contract as SearchBatch: the default is a plain Scan loop
+  /// (adapters.cc), the core tree interleaves grouped descents and
+  /// hand-over-hand leaf-chain drains (core/btree.h), the range-sharded
+  /// adapter buckets start keys per shard and drains merge-free, and the
+  /// hash-sharded adapter k-way-merges per batch entry (DESIGN.md §8.3).
+  virtual void ScanBatch(const ScanOp* ops, std::size_t n,
+                         std::size_t* out_counts) const;
+
   virtual std::string_view name() const = 0;
 
   /// True when concurrent callers are supported (Fig 7 set).

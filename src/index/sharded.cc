@@ -316,6 +316,35 @@ void ShardedIndex::SearchBatch(const Key* keys, std::size_t n,
       });
 }
 
+void ShardedIndex::ScanBatch(const ScanOp* ops, std::size_t n,
+                             std::size_t* out_counts) const {
+  if (n == 0) return;
+  // One pin covers routing and every per-shard drain (the scalar Scan pins
+  // per call); Rebalance's publish waits this guard out like any reader's.
+  pm::EpochGuard guard;
+  std::vector<std::size_t> counts;
+  detail::DispatchBatchByShard(
+      ops, n, shards_.size(),
+      [this](const ScanOp& op) { return ShardOf(op.min_key); },
+      [&](std::size_t s, const ScanOp* gops, std::size_t len,
+          const std::uint32_t* pos) {
+        counts.resize(len);
+        shards_[s]->ScanBatch(gops, len, counts.data());
+        for (std::size_t j = 0; j < len; ++j) {
+          std::size_t got = counts[j];
+          // Merge-free seam continuation: shards are ordered ranges, so an
+          // op short of its cap resumes in the next shard from key 0 and
+          // the concatenation stays globally sorted (same walk as Scan).
+          for (std::size_t t = s + 1;
+               t < shards_.size() && got < gops[j].cap; ++t) {
+            got += shards_[t]->Scan(Key{0}, gops[j].cap - got,
+                                    gops[j].out + got);
+          }
+          out_counts[pos[j]] = got;
+        }
+      });
+}
+
 void ShardedIndex::InsertBatch(const core::Record* ops, std::size_t n,
                                InsertStatus* out) {
   if (n == 0) return;

@@ -157,6 +157,14 @@ class ShardedIndex final : public Index {
   void InsertBatch(const core::Record* ops, std::size_t n,
                    InsertStatus* out) override;
 
+  /// Batched scans: start keys bucket per shard (BucketByShard) so each
+  /// shard drains its group through one native ScanBatch call; because the
+  /// shards are ordered ranges the drains stay merge-free, and an op that
+  /// exhausts its start shard short of `cap` continues into the following
+  /// shards from key 0, exactly like the scalar Scan's concatenation.
+  void ScanBatch(const ScanOp* ops, std::size_t n,
+                 std::size_t* out_counts) const override;
+
   /// Sums the per-shard counts shard by shard, *non-atomically* with
   /// respect to concurrent writers: an insert or remove that lands in a
   /// shard after that shard was counted but while later shards are still

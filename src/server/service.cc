@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 
+#include "index/hash_sharded.h"
 #include "pm/reclaim.h"
 
 namespace fastfair::server {
@@ -145,6 +146,15 @@ KvService::KvService(Index* index, const ServiceOptions& opts)
   if (opts_.queue_depth < 2) opts_.queue_depth = 2;
   if (opts_.max_sessions == 0) opts_.max_sessions = 1;
   num_workers_ = index_->supports_concurrency() ? opts_.workers : 1;
+  // Probe-tier wiring (DESIGN.md §9.4): when serving a hashed-* index,
+  // resolve the concrete adapter once so the config knob can size (or,
+  // with 0, disable) its fingerprint cache and Stats() can report the
+  // tier's hit counters. Setup-time only — before any worker runs.
+  probe_host_ = dynamic_cast<HashShardedIndex*>(index_);
+  if (probe_host_ != nullptr &&
+      opts_.probe_cache_entries != ServiceOptions::kProbeCacheKeep) {
+    probe_host_->SetProbeCacheCapacity(opts_.probe_cache_entries);
+  }
   workers_.reserve(num_workers_);
   for (std::size_t i = 0; i < num_workers_; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -392,12 +402,30 @@ void KvService::ExecuteGroup(Worker& wk, std::vector<detail::Request>& reqs) {
       }
       wk.gets += get_keys.size();
     }
+    // Scans join the grouped execution too: the group's kScan requests
+    // form one Index::ScanBatch call — grouped descents to the start
+    // leaves and interleaved leaf-chain drains (core/btree.h) instead of
+    // one scalar walk per request — still under this group's single pin.
+    std::vector<ScanOp>& scan_ops = wk.scan_ops;
+    std::vector<std::uint32_t>& scan_pos = wk.scan_pos;
+    scan_ops.clear();
+    scan_pos.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (reqs[i].type == detail::OpType::kScan) {
-        reqs[i].done->scan_n_ = static_cast<std::uint32_t>(
-            index_->Scan(reqs[i].key, reqs[i].scan_cap, reqs[i].scan_out));
-        ++wk.scans;
+        scan_ops.push_back(
+            {reqs[i].key, reqs[i].scan_cap, reqs[i].scan_out});
+        scan_pos.push_back(static_cast<std::uint32_t>(i));
       }
+    }
+    if (!scan_ops.empty()) {
+      wk.scan_counts.resize(scan_ops.size());
+      index_->ScanBatch(scan_ops.data(), scan_ops.size(),
+                        wk.scan_counts.data());
+      for (std::size_t j = 0; j < scan_pos.size(); ++j) {
+        reqs[scan_pos[j]].done->scan_n_ =
+            static_cast<std::uint32_t>(wk.scan_counts[j]);
+      }
+      wk.scans += scan_ops.size();
     }
     wk.groups += 1;
   }
@@ -446,6 +474,7 @@ ServiceStats KvService::Stats() const {
     s.idle_flushes += w->idle;
     s.pm += w->pm_delta;
   }
+  if (probe_host_ != nullptr) s.probe = probe_host_->ProbeCacheStats();
   return s;
 }
 

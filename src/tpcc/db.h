@@ -30,6 +30,13 @@ struct Config {
   // ORDER-LINE) through Index::InsertBatch in chunks of this size, riding
   // the batched descent pipeline (DESIGN.md §8); <= 1 inserts row by row.
   std::size_t populate_batch = 0;
+  // Transaction range-read batching: route Delivery's per-district
+  // NEW-ORDER/ORDER-LINE ranges, Stock-Level's per-order ranges, and
+  // Order-Status's line read through Index::ScanBatch (plus SearchBatch
+  // for the row lookups those ranges feed), so one transaction's
+  // independent ranges share grouped descents instead of paying a scalar
+  // root-to-leaf walk each (DESIGN.md §8). Same results either way.
+  bool batch_scans = false;
 };
 
 class Db {

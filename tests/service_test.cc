@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -124,7 +125,47 @@ void RunScript(Index* idx, bool scalar) {
   }
   ResetAll(cs, kN);
 
-  // Round 6: a scan through the service sees exactly the survivors.
+  // Round 6: pipelined scans — many outstanding kScan requests land in the
+  // same cross-client groups, and the batched mode runs each group through
+  // one Index::ScanBatch call (scalar dispatch executes them one by one).
+  // Either way each scan must see exactly the survivors from its start,
+  // cap-limited and sorted. Starts sweep the survivor list with duplicates,
+  // plus 0 and a past-the-end start that must return zero records.
+  std::vector<Key> survivors;
+  for (std::size_t i = 1; i < kN; i += 2) survivors.push_back(keys[i]);
+  std::sort(survivors.begin(), survivors.end());
+  constexpr std::size_t kScans = 24;
+  constexpr std::uint32_t kCap = 16;
+  std::vector<core::Record> bufs(kScans * kCap);
+  std::vector<Key> starts;
+  for (std::size_t j = 0; j < kScans; ++j) {
+    if (j == 0) {
+      starts.push_back(0);
+    } else if (j + 1 == kScans) {
+      starts.push_back(~Key{0});
+    } else {
+      starts.push_back(survivors[j * survivors.size() / kScans]);
+    }
+  }
+  for (std::size_t j = 0; j < kScans; ++j) {
+    ASSERT_TRUE(s->Scan(starts[j], kCap, bufs.data() + j * kCap, &cs[j]));
+  }
+  WaitAll(cs, kScans);
+  for (std::size_t j = 0; j < kScans; ++j) {
+    EXPECT_EQ(cs[j].status(), ReqStatus::kOk) << j;
+    const auto lo =
+        std::lower_bound(survivors.begin(), survivors.end(), starts[j]);
+    const std::size_t want = std::min<std::size_t>(
+        kCap, static_cast<std::size_t>(survivors.end() - lo));
+    ASSERT_EQ(cs[j].scan_count(), want) << j;
+    for (std::uint32_t i = 0; i < want; ++i) {
+      EXPECT_EQ(bufs[j * kCap + i].key, *(lo + i)) << j << " rec " << i;
+      EXPECT_EQ(bufs[j * kCap + i].ptr, V2(bufs[j * kCap + i].key)) << j;
+    }
+  }
+  ResetAll(cs, kScans);
+
+  // Round 7: one uncapped scan through the service sees all survivors.
   std::vector<core::Record> out(kN + 8);
   ASSERT_TRUE(s->Scan(0, static_cast<std::uint32_t>(out.size()), out.data(),
                       &cs[0]));
@@ -326,6 +367,59 @@ TEST(Service, SessionTableCapacityIsEnforced) {
   EXPECT_NE(svc.OpenSession(), nullptr);
   EXPECT_NE(svc.OpenSession(), nullptr);
   EXPECT_EQ(svc.OpenSession(), nullptr);
+}
+
+TEST(Service, ProbeCacheKnobRoutesToHashedKinds) {
+  // ServiceOptions::probe_cache_entries reaches the HashShardedIndex under
+  // the service: 0 disables the fingerprint probe tier (its stats ledger
+  // stays empty), the keep-default sentinel leaves the index's cache on so
+  // repeated gets produce hits, and Stats() surfaces the ledger either
+  // way. Runs both dispatch modes — scalar gets go through Search, grouped
+  // gets through SearchBatch, and both consult the cache.
+  for (const bool scalar : {true, false}) {
+    for (const bool off : {false, true}) {
+      SCOPED_TRACE((scalar ? "scalar" : "batched") +
+                   std::string(off ? " cache-off" : " cache-on"));
+      pm::Pool pool(std::size_t{256} << 20);
+      auto idx = MakeIndex("hashed-fastfair:4", &pool);
+      ServiceOptions so;
+      so.workers = 2;
+      so.scalar_dispatch = scalar;
+      if (off) so.probe_cache_entries = 0;
+      KvService svc(idx.get(), so);
+      Session* s = svc.OpenSession();
+      svc.Start();
+      const std::size_t kN = 256;
+      std::vector<Completion> cs(kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        const Key k = static_cast<Key>(i) + 1;
+        ASSERT_TRUE(s->Put(k, V1(k), &cs[i]));
+      }
+      WaitAll(cs, kN);
+      ResetAll(cs, kN);
+      // Two read rounds: the first round's misses install entries, the
+      // second hits them (equivalence holds regardless).
+      for (int round = 0; round < 2; ++round) {
+        for (std::size_t i = 0; i < kN; ++i) {
+          ASSERT_TRUE(s->Get(static_cast<Key>(i) + 1, &cs[i]));
+        }
+        WaitAll(cs, kN);
+        for (std::size_t i = 0; i < kN; ++i) {
+          EXPECT_EQ(cs[i].value(), V1(static_cast<Key>(i) + 1)) << i;
+        }
+        ResetAll(cs, kN);
+      }
+      svc.Stop();
+      const auto st = svc.Stats();
+      EXPECT_EQ(st.executed, 3 * kN);
+      if (off) {
+        EXPECT_EQ(st.probe.hits + st.probe.misses + st.probe.installs, 0u);
+      } else {
+        EXPECT_GT(st.probe.installs, 0u);
+        EXPECT_GT(st.probe.hits, 0u);
+      }
+    }
+  }
 }
 
 TEST(Service, MultiClientShutdownRace) {
