@@ -17,6 +17,7 @@
 #include "bench/workload.h"
 #include "core/btree.h"
 #include "crashsim/simmem.h"
+#include "pm/check.h"
 
 int main(int argc, char** argv) {
   using namespace fastfair;
@@ -24,8 +25,8 @@ int main(int argc, char** argv) {
   pm::SetConfig(pm::Config{});
 
   std::printf("Ablation: recovery cost (attach / volatile rebuild)\n");
-  bench::Table table({"entries", "fastfair_attach_ms", "fptree_rebuild_ms",
-                      "skiplist_rebuild_ms"});
+  bench::Table table({"entries", "fastfair_attach_ms", "checkpool_ms",
+                      "fptree_rebuild_ms", "skiplist_rebuild_ms"});
   for (const std::size_t n : {opt.ScaledN(1000000), opt.ScaledN(4000000)}) {
     const auto keys = bench::UniformKeys(n, opt.seed);
     pm::Pool pool(std::size_t{6} << 30);
@@ -40,6 +41,17 @@ int main(int argc, char** argv) {
     bench::Timer t;
     core::BTree attached(&pool, tree.meta());
     const double ff_ms = t.ElapsedUs() / 1000.0;
+    // The optional reopen-time fsck (pm/check.h): a full read-only walk of
+    // the tree plus the free-list audit — the price of attaching *and*
+    // verifying instead of trusting the pool blindly. Still no rebuild.
+    pool.SetRoot(tree.meta());
+    t.Reset();
+    const pm::CheckReport report = pm::CheckPool(&pool);
+    const double check_ms = t.ElapsedUs() / 1000.0;
+    if (!report.ok()) {
+      std::printf("%s", report.ToString().c_str());
+      std::abort();
+    }
     t.Reset();
     fp.RebuildInner();
     const double fp_ms = t.ElapsedUs() / 1000.0;
@@ -47,8 +59,10 @@ int main(int argc, char** argv) {
     sl.RebuildIndex();
     const double sl_ms = t.ElapsedUs() / 1000.0;
     if (attached.Search(keys[0]) == kNoValue) std::abort();
+    if (report.entries != n) std::abort();  // fsck counted every record
     table.AddRow({std::to_string(n), bench::Table::Num(ff_ms),
-                  bench::Table::Num(fp_ms), bench::Table::Num(sl_ms)});
+                  bench::Table::Num(check_ms), bench::Table::Num(fp_ms),
+                  bench::Table::Num(sl_ms)});
   }
   table.Print();
 

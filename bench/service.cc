@@ -31,6 +31,7 @@
 // baseline); --no-wall-gates keeps only the deterministic counter gate.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -66,6 +67,12 @@ struct ModeResult {
 // in-flight slot so completions can land out of submission order.
 constexpr std::uint32_t kScanLen = 100;
 
+// --deadline-us=<n>: per-request deadline attached to every submitted op
+// (0 = none). Ops still queued past it complete as kDeadlineExceeded
+// instead of occupying a batch slot — the load-shedding path under
+// overload (DESIGN.md §11).
+std::uint64_t g_deadline_us = 0;
+
 // 16 get : 4 put : 1 del, the paper's Mixed ratio, drawn on the fly; with
 // --scan-frac, that fraction of ops is diverted to 100-entry range scans
 // (kScan requests riding the cross-client grouped ScanBatch dispatch).
@@ -74,16 +81,16 @@ bool SubmitOp(server::Session* s, Rng& rng, std::size_t i, Key key,
               Value value, std::uint32_t scan_per_mille,
               core::Record* scan_buf, server::Completion* done) {
   if (scan_per_mille != 0 && rng.NextBounded(1000) < scan_per_mille) {
-    s->Scan(key, kScanLen, scan_buf, done);
+    s->Scan(key, kScanLen, scan_buf, done, g_deadline_us);
     return true;
   }
   const std::size_t slot = i % 21;
   if (slot < 16) {
-    s->Get(key, done);
+    s->Get(key, done, g_deadline_us);
   } else if (slot < 20) {
-    s->Put(key, value, done);
+    s->Put(key, value, done, g_deadline_us);
   } else {
-    s->Del(key, done);
+    s->Del(key, done, g_deadline_us);
   }
   return false;
 }
@@ -339,6 +346,8 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--no-wall-gates") == 0) {
       wall_gates = false;
+    } else if (std::strncmp(argv[i], "--deadline-us=", 14) == 0) {
+      g_deadline_us = std::strtoull(argv[i] + 14, nullptr, 0);
     } else {
       argv[out_argc++] = argv[i];
     }

@@ -27,12 +27,14 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/btree.h"
 #include "index/index.h"
+#include "pm/check.h"
 #include "server/service.h"
 
 namespace {
@@ -84,6 +86,16 @@ struct Store {
           return o;
         }()) {
     if (pool.reopened()) {
+      // Audit before trusting: the fsck walks the tree and the free lists
+      // read-only, so a damaged pool is reported with the evidence intact
+      // rather than silently attached (pm/check.h).
+      const pm::CheckReport report = pm::CheckPool(&pool);
+      std::printf("%s", report.ToString().c_str());
+      if (!report.ok()) {
+        std::printf("[kvstore] pool failed verification; refusing to "
+                    "attach\n");
+        throw std::runtime_error("pool verification failed");
+      }
       auto* meta = static_cast<core::TreeMeta*>(pool.GetRoot());
       tree = ::new (tree_storage) core::BTree(&pool, meta);
       std::printf("[kvstore] recovered existing store (%zu slots)\n",

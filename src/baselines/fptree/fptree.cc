@@ -141,7 +141,16 @@ void FPTree::Insert(Key key, Value value) {
       return;
     }
     Leaf* nl = nullptr;
-    const Key sep = SplitLeaf(l, &nl);
+    Key sep;
+    try {
+      sep = SplitLeaf(l, &nl);
+    } catch (...) {
+      // Pool exhaustion inside the split (AllocLeaf). Nothing persistent
+      // was touched yet — release the leaf latch before letting the
+      // bad_alloc surface, or the next op on this leaf deadlocks.
+      l->lock.unlock();
+      throw;
+    }
     l->lock.unlock();
     InnerInsert(sep, nl);
     // Loop: re-descend and insert into the proper half.

@@ -22,8 +22,12 @@ inline constexpr Value kNoValue = 0;
 /// Per-op outcome of a batched upsert (Index::InsertBatch with a status
 /// array, core::BTreeT::InsertBatch): whether the op created its key or
 /// overwrote an existing entry. Shared vocabulary between the core tree,
-/// the index tier, and the service tier's Put replies.
-enum class InsertStatus : std::uint8_t { kInserted, kUpdated };
+/// the index tier, and the service tier's Put replies. kNoSpace means the
+/// pool could not supply the split the op needed: the key was NOT inserted,
+/// the structure is untouched and stays fully valid, and the op may be
+/// retried once capacity returns (the service tier's degraded mode maps it
+/// to ReqStatus::kRejectedCapacity).
+enum class InsertStatus : std::uint8_t { kInserted, kUpdated, kNoSpace };
 
 namespace core {
 struct Record;  // core/node.h: {key, ptr} — the scan output unit

@@ -106,8 +106,20 @@ class BTreeT {
   const Options& options() const { return opts_; }
 
   /// Upsert. `value` must not be kNoValue. Returns true when the key was
-  /// newly inserted, false when an existing entry was overwritten.
+  /// newly inserted, false when an existing entry was overwritten. Throws
+  /// std::bad_alloc when the pool cannot supply a needed split (the tree is
+  /// left untouched and fully valid — see TryInsert for the status form).
   bool Insert(Key key, Value value);
+
+  /// Status-propagating upsert: kInserted / kUpdated, or kNoSpace when the
+  /// pool could not supply the split the op needed. On kNoSpace the key was
+  /// not inserted and the tree is structurally untouched: a failed split
+  /// unwinds before mutating the node (the sibling is allocated first), and
+  /// a split whose *parent* publication cannot allocate simply stops there —
+  /// the sibling stays reachable through the B-link chain, the exact state a
+  /// crash between split and parent insert leaves, which move-right +
+  /// AdoptSibling already complete lazily (paper §4.2).
+  InsertStatus TryInsert(Key key, Value value);
 
   /// Removes `key`; returns false if absent.
   bool Remove(Key key);
@@ -134,7 +146,9 @@ class BTreeT {
   /// writes themselves run one at a time under the usual leaf locks.
   /// When `out` is non-null, out[i] records whether op i created its key
   /// or overwrote an existing entry (a duplicate key's second occurrence
-  /// reports kUpdated).
+  /// reports kUpdated), or kNoSpace when the pool could not supply op i's
+  /// split (that op alone is skipped — the tree stays valid and later ops
+  /// still run; with out == nullptr a kNoSpace op is skipped silently).
   void InsertBatch(const Record* ops, std::size_t n,
                    InsertStatus* out = nullptr);
 
@@ -215,6 +229,12 @@ class BTreeT {
   /// Pool::SetAllocHook (see crashsim::SimMem::InterceptPool).
   NodeT* AllocNode(std::uint16_t level);
 
+  /// Nothrow variant (Pool::TryAlloc): nullptr when the pool is exhausted
+  /// or the fault injector fails the site. The split path uses this so a
+  /// failed allocation unwinds into an InsertStatus::kNoSpace instead of an
+  /// exception mid-mutation.
+  NodeT* TryAllocNode(std::uint16_t level);
+
   /// In-node search dispatch, resolved once at construction from
   /// Options::search and the active SIMD ISA (simd::ActiveIsa) instead of
   /// branching per node visit (the hot-path hoist): leaf probe, internal
@@ -253,8 +273,10 @@ class BTreeT {
 
   /// Insert tail: locks the covering leaf starting from hint `leaf`
   /// (re-descending if the hint died) and performs the upsert/split.
-  /// Returns true for a fresh insert, false for an in-place update.
-  bool InsertFrom(NodeT* leaf, Key key, Value value);
+  /// kInserted for a fresh insert, kUpdated for an in-place update,
+  /// kNoSpace when the needed split could not allocate (key not inserted,
+  /// tree untouched).
+  InsertStatus InsertFrom(NodeT* leaf, Key key, Value value);
 
   /// Locks `n`, hopping right while the key belongs to a sibling. On a hop
   /// triggered at leaf level, lazily completes a possibly-crashed split by
@@ -306,8 +328,12 @@ class BTreeT {
   void RepairDeadRoutes(std::uint16_t level, Key lo, Key hi);
 
   /// Splits locked `node` and inserts (key, down) into the proper half;
-  /// releases locks and updates the parent (Alg 2).
-  void SplitAndInsert(NodeT* node, Key key, std::uint64_t down);
+  /// releases locks and updates the parent (Alg 2). Returns false when the
+  /// sibling allocation failed: `node` is then unlocked and untouched and
+  /// (key, down) was not inserted. Failure of the *parent* update's own
+  /// allocation does not fail the op — the committed split stays reachable
+  /// through the B-link chain and is adopted lazily.
+  bool SplitAndInsert(NodeT* node, Key key, std::uint64_t down);
 
   /// Inserts separator (sep -> right) at `level`, growing the root if
   /// needed. Idempotent: skips if `right` is already present.

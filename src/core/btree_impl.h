@@ -8,6 +8,8 @@
 #include <new>
 #include <optional>
 
+#include "pm/fault.h"
+
 namespace fastfair::core {
 
 namespace detail {
@@ -117,7 +119,15 @@ BTreeT<P>::BTreeT(pm::Pool* pool, TreeMeta* meta, const Options& opts)
 
 template <std::size_t P>
 typename BTreeT<P>::NodeT* BTreeT<P>::AllocNode(std::uint16_t level) {
-  void* p = pool_->Alloc(sizeof(NodeT), kCacheLineSize);
+  NodeT* n = TryAllocNode(level);
+  if (n == nullptr) throw std::bad_alloc();
+  return n;
+}
+
+template <std::size_t P>
+typename BTreeT<P>::NodeT* BTreeT<P>::TryAllocNode(std::uint16_t level) {
+  void* p = pool_->TryAlloc(sizeof(NodeT), kCacheLineSize);
+  if (p == nullptr) return nullptr;
   auto* n = ::new (p) NodeT;
   n->Init(level);
   return n;
@@ -250,7 +260,7 @@ typename BTreeT<P>::NodeT* BTreeT<P>::LockCovering(NodeT* n, Key key) {
 // --- point operations -----------------------------------------------------------
 
 template <std::size_t P>
-bool BTreeT<P>::InsertFrom(NodeT* leaf, Key key, Value value) {
+InsertStatus BTreeT<P>::InsertFrom(NodeT* leaf, Key key, Value value) {
   // Per-operation write-combining scope (DESIGN.md §8.2): a no-op unless
   // the global config opted into relaxed-persistency flush coalescing;
   // then every flush this operation issues — shifts, split copies, parent
@@ -267,22 +277,32 @@ bool BTreeT<P>::InsertFrom(NodeT* leaf, Key key, Value value) {
     if (opts_.reclaim_empty_leaves) TryUnlinkEmptySibling(leaf, key);
     if (Ops::UpdateKey(m, leaf, key, value)) {  // upsert: 8-byte in-place
       leaf->hdr.lock.unlock();
-      return false;
+      return InsertStatus::kUpdated;
     }
     if (Ops::CountRaw(m, leaf) < kNodeCapacity) {
       Ops::InsertKey(m, leaf, key, value);
       leaf->hdr.lock.unlock();
-      return true;
+      return InsertStatus::kInserted;
     }
     // UpdateKey already handled an existing key, so a split always carries
     // a fresh insert.
-    SplitAndInsert(leaf, key, value);
-    return true;
+    return SplitAndInsert(leaf, key, value) ? InsertStatus::kInserted
+                                            : InsertStatus::kNoSpace;
   }
 }
 
 template <std::size_t P>
 bool BTreeT<P>::Insert(Key key, Value value) {
+  const InsertStatus st = TryInsert(key, value);
+  // Legacy throwing contract: before the status-propagating path existed,
+  // exhaustion surfaced as the pool's bad_alloc mid-split. Callers that
+  // want to shed instead of unwind use TryInsert/InsertBatch.
+  if (st == InsertStatus::kNoSpace) throw std::bad_alloc();
+  return st == InsertStatus::kInserted;
+}
+
+template <std::size_t P>
+InsertStatus BTreeT<P>::TryInsert(Key key, Value value) {
   assert(value != kNoValue && "kNoValue (0) is reserved");
   detail::MaybeEpochGuard guard(opts_.reclaim_empty_leaves);  // pins reclaimed nodes
   return InsertFrom(FindLeaf(key), key, value);
@@ -303,11 +323,8 @@ void BTreeT<P>::InsertBatch(const Record* ops, std::size_t n,
     // InsertFrom absorbs (move-right, or re-descend on a dead node).
     for (std::size_t j = 0; j < g; ++j) {
       assert(ops[i + j].ptr != kNoValue && "kNoValue (0) is reserved");
-      const bool inserted = InsertFrom(leaves[j], keys[j], ops[i + j].ptr);
-      if (out != nullptr) {
-        out[i + j] =
-            inserted ? InsertStatus::kInserted : InsertStatus::kUpdated;
-      }
+      const InsertStatus st = InsertFrom(leaves[j], keys[j], ops[i + j].ptr);
+      if (out != nullptr) out[i + j] = st;
     }
   }
 }
@@ -388,7 +405,7 @@ void BTreeT<P>::ClearLog() {
 }
 
 template <std::size_t P>
-void BTreeT<P>::SplitAndInsert(NodeT* node, Key key, std::uint64_t down) {
+bool BTreeT<P>::SplitAndInsert(NodeT* node, Key key, std::uint64_t down) {
   RealMem m;
   // Internal split: `down` is a child pointer. Same unlink interlock as
   // InsertInternal's locked check — we hold `node`'s lock, so either the
@@ -399,14 +416,27 @@ void BTreeT<P>::SplitAndInsert(NodeT* node, Key key, std::uint64_t down) {
   if (!node->is_leaf() &&
       Ops::IsDead(m, detail::ResolveNode<NodeT>(down))) {
     node->hdr.lock.unlock();
-    return;
+    return true;  // dropped on purpose, not for lack of space
+  }
+  // The sibling is allocated before anything — the undo log included — is
+  // touched: a kNoSpace here unwinds by just unlocking, leaving `node`
+  // byte-identical and the op cleanly rejected.
+  NodeT* sib;
+  {
+    pm::FaultInjector::SiteScope site(node->is_leaf()
+                                          ? "btree/split-leaf"
+                                          : "btree/split-internal");
+    sib = TryAllocNode(node->hdr.level);
+  }
+  if (sib == nullptr) {
+    node->hdr.lock.unlock();
+    return false;
   }
   const bool logging = opts_.rebalance == RebalanceMode::kLogging;
   if (logging) LogNodeImage(node);
 
   const int cnt = Ops::CountRaw(m, node);
   const int median = cnt / 2;
-  NodeT* sib = AllocNode(node->hdr.level);
   sib->hdr.lock.lock();  // unreachable until CommitSplit publishes it
   Ops::SplitCopy(m, node, sib, median, cnt);
   Ops::CommitSplit(m, node, sib, median);
@@ -422,6 +452,7 @@ void BTreeT<P>::SplitAndInsert(NodeT* node, Key key, std::uint64_t down) {
   node->hdr.lock.unlock();
 
   InsertInternal(sep, sib, static_cast<std::uint16_t>(node->hdr.level + 1));
+  return true;
 }
 
 template <std::size_t P>
@@ -437,8 +468,17 @@ void BTreeT<P>::InsertInternal(Key sep, NodeT* right, std::uint16_t level) {
     if (Ops::IsDead(m, right)) return;
     NodeT* root = Root();
     if (root->hdr.level < level) {
-      // The node that split was the root: grow the tree by one level.
-      NodeT* nr = AllocNode(level);
+      // The node that split was the root: grow the tree by one level. If
+      // the pool cannot supply the new root, give up — the committed split
+      // stays reachable through the old root's B-link chain (the same
+      // state a crash between split and parent insert leaves), and
+      // move-right + AdoptSibling complete it lazily once space returns.
+      NodeT* nr;
+      {
+        pm::FaultInjector::SiteScope site("btree/root-growth");
+        nr = TryAllocNode(level);
+      }
+      if (nr == nullptr) return;
       Ops::StoreLeftmost(m, nr, reinterpret_cast<std::uint64_t>(root));
       Ops::InsertKey(m, nr, sep, right_u);
       pm::Persist(nr, sizeof(NodeT));
@@ -490,7 +530,11 @@ void BTreeT<P>::InsertInternal(Key sep, NodeT* right, std::uint16_t level) {
       n->hdr.lock.unlock();
       return;
     }
-    SplitAndInsert(n, sep, right_u);  // recurses into level + 1
+    // Recurses into level + 1. A false return (the parent level's own
+    // split could not allocate) is absorbed: `right` is already committed
+    // and chain-reachable, so its missing route is the lazily-adoptable
+    // crash state, not a lost insert.
+    SplitAndInsert(n, sep, right_u);
     return;
   }
 }

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "pm/fault.h"
 #include "pm/pool.h"
 
 namespace fastfair::crashsim {
@@ -48,11 +49,20 @@ void SimMem::InterceptPool(pm::Pool& pool) {
 void SimMem::Store64(void* addr, std::uint64_t value) {
   auto a = reinterpret_cast<std::uintptr_t>(addr);
   assert(a % 8 == 0);
-  if (initial_.find(a) == initial_.end()) {
+  auto it = cache_.find(a);
+  if (it == cache_.end()) {
     throw std::out_of_range("SimMem: store outside adopted ranges");
   }
-  cache_[a] = value;
-  events_.push_back({Event::Kind::kStore, a, value});
+  // Fault injection (pm/fault.h): the chosen store persists as a torn
+  // hybrid of old and new content while the program-order (cache) view
+  // still sees the intended value — the write completed, half of it
+  // reached the medium.
+  std::uint64_t logged = value;
+  if (pm::FaultInjector::Armed()) {
+    logged = pm::FaultInjector::Instance().OnStore(value, it->second);
+  }
+  it->second = value;
+  events_.push_back({Event::Kind::kStore, a, logged});
 }
 
 std::uint64_t SimMem::Load64(const void* addr) const {
@@ -65,11 +75,32 @@ std::uint64_t SimMem::Load64(const void* addr) const {
 }
 
 void SimMem::Flush(const void* addr) {
-  events_.push_back(
-      {Event::Kind::kFlush, reinterpret_cast<std::uintptr_t>(addr), 0});
+  const Event e{Event::Kind::kFlush, reinterpret_cast<std::uintptr_t>(addr),
+                0};
+  if (pm::FaultInjector::Armed()) {
+    using Action = pm::FaultInjector::FlushAction;
+    switch (pm::FaultInjector::Instance().OnFlush()) {
+      case Action::kDrop:
+        return;  // the line never reaches its fence
+      case Action::kDeferPastFence:
+        // Models the reordering an elided barrier would allow: the flush
+        // lands after the next fence, so that fence no longer covers it.
+        deferred_flushes_.push_back(e);
+        return;
+      case Action::kKeep:
+        break;
+    }
+  }
+  events_.push_back(e);
 }
 
-void SimMem::Fence() { events_.push_back({Event::Kind::kFence, 0, 0}); }
+void SimMem::Fence() {
+  events_.push_back({Event::Kind::kFence, 0, 0});
+  if (!deferred_flushes_.empty()) {
+    for (const Event& e : deferred_flushes_) events_.push_back(e);
+    deferred_flushes_.clear();
+  }
+}
 
 std::size_t SimMem::store_count() const {
   std::size_t n = 0;

@@ -133,6 +133,9 @@ class SimMem {
   // Program-order (cache) view for Load64.
   std::unordered_map<std::uintptr_t, std::uint64_t> cache_;
   std::vector<Event> events_;
+  // Flushes the fault injector deferred past the next fence (pm/fault.h);
+  // re-emitted right after that fence so the fence no longer covers them.
+  std::vector<Event> deferred_flushes_;
 };
 
 }  // namespace fastfair::crashsim

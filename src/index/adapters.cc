@@ -1,5 +1,6 @@
 #include "index/index.h"
 
+#include <new>
 #include <stdexcept>
 #include <vector>
 
@@ -224,7 +225,15 @@ void Index::InsertBatch(const core::Record* ops, std::size_t n,
       out[i] = Search(ops[i].key) == kNoValue ? InsertStatus::kInserted
                                               : InsertStatus::kUpdated;
     }
-    Insert(ops[i].key, ops[i].ptr);
+    // Baselines signal exhaustion the pre-status way, by throwing from
+    // Insert; map it to the per-op status so one op out of pool space
+    // sheds instead of aborting the whole batch (and the service worker
+    // above it).
+    try {
+      Insert(ops[i].key, ops[i].ptr);
+    } catch (const std::bad_alloc&) {
+      if (out != nullptr) out[i] = InsertStatus::kNoSpace;
+    }
   }
 }
 

@@ -362,7 +362,11 @@ void ShardedIndex::InsertBatch(const core::Record* ops, std::size_t n,
         out[i] = Search(ops[i].key) == kNoValue ? InsertStatus::kInserted
                                                 : InsertStatus::kUpdated;
       }
-      Insert(ops[i].key, ops[i].ptr);
+      try {
+        Insert(ops[i].key, ops[i].ptr);
+      } catch (const std::bad_alloc&) {
+        if (out != nullptr) out[i] = InsertStatus::kNoSpace;
+      }
     }
     return;
   }

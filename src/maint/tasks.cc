@@ -1,6 +1,7 @@
 #include "maint/tasks.h"
 
 #include <algorithm>
+#include <new>
 
 #include "pm/reclaim.h"
 
@@ -60,6 +61,14 @@ ImbalancePolicyTask::ImbalancePolicyTask(ShardedIndex* idx,
 
 QuantumResult ImbalancePolicyTask::RunQuantum() {
   QuantumResult q;
+  // Backing off after pool exhaustion: a migration copy needs allocations,
+  // and retrying the instant the scheduler comes around again would burn
+  // quanta rediscovering kNoSpace. Skip a doubling number of quanta, then
+  // re-probe; reported not-at-rest so the scheduler keeps coming back.
+  if (backoff_quanta_ != 0) {
+    --backoff_quanta_;
+    return q;
+  }
   // The sampled histogram is the designed signal, but it refreshes only
   // every sample_interval mutations per shard — right after a write burst
   // it can lag. The relaxed live counters are always current and cost N
@@ -76,7 +85,21 @@ QuantumResult ImbalancePolicyTask::RunQuantum() {
     q.at_rest = true;
     return q;
   }
-  const auto r = idx_->Rebalance();
+  ShardedIndex::RebalanceResult r;
+  try {
+    r = idx_->Rebalance();
+  } catch (const std::bad_alloc&) {
+    // Migration copy ran the pool dry mid-rebalance. The index stays valid
+    // (per-op kNoSpace semantics: the un-migrated tail simply stays where
+    // it was), but letting the exception escape would kill the scheduler
+    // thread and take every other task down with it. Back off and re-arm:
+    // deletes or limbo drains may return capacity.
+    backoff_quanta_ = next_backoff_;
+    next_backoff_ = std::min(next_backoff_ * 2, kMaxBackoff);
+    return q;  // not at rest: the skew (and the work) are still there
+  }
+  backoff_quanta_ = 0;
+  next_backoff_ = 1;
   if (r.moved == 0) {
     // The signal was stale or noise (e.g. counter drift on an index whose
     // exact occupancy is already balanced): Rebalance resynced the

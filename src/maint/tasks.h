@@ -78,6 +78,13 @@ class ImbalancePolicyTask final : public MaintenanceTask {
   double threshold_;
   std::size_t min_entries_;  // below this total, imbalance is noise
   std::string name_;
+  // Quanta left to skip after a migration copy hit pool exhaustion
+  // (bad_alloc out of Rebalance). Doubles per consecutive failure up to
+  // kMaxBackoff; any successful quantum resets it. Keeps the scheduler
+  // thread alive and re-arms the policy once capacity returns.
+  std::uint32_t backoff_quanta_ = 0;
+  std::uint32_t next_backoff_ = 1;
+  static constexpr std::uint32_t kMaxBackoff = 64;
 };
 
 /// Budgeted leaf-chain sweep over one reclaiming tree. Header-only template

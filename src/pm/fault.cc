@@ -1,0 +1,174 @@
+#include "pm/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fastfair::pm {
+
+std::uint64_t FaultSeedFromEnv(std::uint64_t fallback) {
+  const char* env = std::getenv("FASTFAIR_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 0);
+}
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+namespace {
+thread_local const char* t_site = nullptr;
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::ArmLocked() {
+  const bool on = record_only_ || fail_all_ || fail_nth_ != 0 ||
+                  fail_every_ != 0 || !fail_site_.empty() ||
+                  drop_flush_nth_ != 0 || reorder_flush_nth_ != 0 ||
+                  tear_store_nth_ != 0;
+  armed_.store(on, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  record_only_ = false;
+  fail_all_ = false;
+  fail_nth_ = 0;
+  fail_every_ = 0;
+  fail_site_.clear();
+  fail_site_nth_ = 0;
+  drop_flush_nth_ = 0;
+  reorder_flush_nth_ = 0;
+  tear_store_nth_ = 0;
+  flushes_observed_ = 0;
+  stores_observed_ = 0;
+  site_counts_.clear();
+  allocs_observed_.store(0, std::memory_order_relaxed);
+  faults_injected_.store(0, std::memory_order_relaxed);
+  ArmLocked();
+}
+
+void FaultInjector::RecordOnly() {
+  std::lock_guard<std::mutex> lk(mu_);
+  record_only_ = true;
+  ArmLocked();
+}
+
+void FaultInjector::FailAllocNth(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fail_nth_ = n;
+  allocs_observed_.store(0, std::memory_order_relaxed);
+  ArmLocked();
+}
+
+void FaultInjector::FailAllocEvery(std::uint64_t k) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fail_every_ = k;
+  allocs_observed_.store(0, std::memory_order_relaxed);
+  ArmLocked();
+}
+
+void FaultInjector::FailAllocAtSite(std::string site, std::uint64_t nth) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fail_site_ = std::move(site);
+  fail_site_nth_ = nth == 0 ? 1 : nth;
+  site_counts_.clear();
+  ArmLocked();
+}
+
+void FaultInjector::FailAllAllocs(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fail_all_ = on;
+  ArmLocked();
+}
+
+void FaultInjector::DropFlushNth(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  drop_flush_nth_ = n;
+  flushes_observed_ = 0;
+  ArmLocked();
+}
+
+void FaultInjector::ReorderFlushNth(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  reorder_flush_nth_ = n;
+  flushes_observed_ = 0;
+  ArmLocked();
+}
+
+void FaultInjector::TearStoreNth(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  tear_store_nth_ = n;
+  stores_observed_ = 0;
+  ArmLocked();
+}
+
+bool FaultInjector::ShouldFailAlloc() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t n =
+      allocs_observed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const char* site = CurrentSite();
+  const std::uint64_t at_site = ++site_counts_[site];
+  bool fail = false;
+  if (fail_all_) {
+    fail = true;
+  } else if (fail_nth_ != 0 && n == fail_nth_) {
+    fail = true;
+  } else if (fail_every_ != 0 && n % fail_every_ == 0) {
+    fail = true;
+  } else if (!fail_site_.empty() && fail_site_ == site &&
+             at_site == fail_site_nth_) {
+    fail = true;
+  }
+  if (fail) faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+FaultInjector::FlushAction FaultInjector::OnFlush() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t n = ++flushes_observed_;
+  if (drop_flush_nth_ != 0 && n == drop_flush_nth_) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return FlushAction::kDrop;
+  }
+  if (reorder_flush_nth_ != 0 && n == reorder_flush_nth_) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return FlushAction::kDeferPastFence;
+  }
+  return FlushAction::kKeep;
+}
+
+std::uint64_t FaultInjector::OnStore(std::uint64_t value,
+                                     std::uint64_t old) noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t n = ++stores_observed_;
+  if (tear_store_nth_ != 0 && n == tear_store_nth_) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    // Half-written word: the low 4 bytes of the new value landed, the high
+    // 4 bytes still hold the old content.
+    return (old & 0xffff'ffff'0000'0000ull) | (value & 0xffff'ffffull);
+  }
+  return value;
+}
+
+FaultInjector::SiteScope::SiteScope(const char* name) : prev_(t_site) {
+  t_site = name;
+}
+
+FaultInjector::SiteScope::~SiteScope() { t_site = prev_; }
+
+const char* FaultInjector::CurrentSite() {
+  return t_site != nullptr ? t_site : kUntagged;
+}
+
+std::vector<std::string> FaultInjector::SitesSeen() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(site_counts_.size());
+  for (const auto& [site, n] : site_counts_) out.push_back(site);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fastfair::pm

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the PM stack (DESIGN.md §11).
+//
+// The paper's recoverability argument covers *crash* states; this module adds
+// the two fault classes a production tier additionally has to survive:
+//
+//  * Resource faults: `Pool` allocation failure. The injector can fail the
+//    Nth allocation, every kth allocation, or the nth allocation at a named
+//    call *site* (tree call sites tag themselves with a `SiteScope`), and can
+//    simulate a full pool (`FailAllAllocs`) so the service tier's degraded
+//    mode is testable without actually burning gigabytes.
+//  * Persistence faults: via the crashsim::SimMem event log — drop the Nth
+//    flush (the line never reaches its fence), defer the Nth flush past the
+//    next fence (the reordering a missing barrier would allow), or tear the
+//    Nth 8-byte store so only its low half persists.
+//
+// Determinism contract, mirroring the race harness (tests/race_sched.h):
+// a sweep seeds itself from `FASTFAIR_FAULT_SEED` when set (else a fixed
+// default), prints the seed it used, and derives every fault choice from
+// that seed — so a CI failure replays exactly with
+//   FASTFAIR_FAULT_SEED=<seed> ./build/fault_injection_test
+//
+// Hot-path cost when disarmed: one relaxed atomic load (`Armed()`), checked
+// by `Pool::TryAlloc` and the SimMem policy methods. Arming is test-only and
+// not meant to race with a live workload; the armed path takes a mutex.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fastfair::pm {
+
+/// Returns FASTFAIR_FAULT_SEED when set (decimal or 0x-hex), else `fallback`.
+std::uint64_t FaultSeedFromEnv(std::uint64_t fallback);
+
+class FaultInjector {
+ public:
+  /// Process-wide injector consulted by Pool and SimMem.
+  static FaultInjector& Instance();
+
+  /// True when any fault mode (or site recording) is armed. The only check
+  /// the disarmed hot path pays.
+  static bool Armed() {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  // --- arming (tests; call before the workload, not concurrently with it) ---
+
+  /// Disarms every mode, zeroes the counters, forgets observed sites.
+  void Reset();
+
+  /// Observe allocations (site + count bookkeeping) without failing any.
+  /// A sweep's discovery pass: run the workload once, then `SitesSeen()`.
+  void RecordOnly();
+
+  /// Fail the nth allocation observed from now on (1-based, all threads).
+  void FailAllocNth(std::uint64_t n);
+
+  /// Fail every kth allocation (k >= 1; k == 1 fails all).
+  void FailAllocEvery(std::uint64_t k);
+
+  /// Fail the nth allocation tagged with `site` (1-based). Untagged
+  /// allocations observe as site `kUntagged`.
+  void FailAllocAtSite(std::string site, std::uint64_t nth);
+
+  /// Simulated pool exhaustion: every allocation fails until disarmed.
+  void FailAllAllocs(bool on);
+
+  /// Drop the nth SimMem flush (counted from arming).
+  void DropFlushNth(std::uint64_t n);
+
+  /// Defer the nth SimMem flush past the next fence — the reordering an
+  /// elided barrier would permit.
+  void ReorderFlushNth(std::uint64_t n);
+
+  /// Tear the nth SimMem 8-byte store: only its low 4 bytes persist.
+  void TearStoreNth(std::uint64_t n);
+
+  // --- hot-path queries -----------------------------------------------------
+
+  /// Consulted by Pool::TryAlloc for every allocation while armed. Counts
+  /// the allocation (and its site), returns true when it must fail.
+  bool ShouldFailAlloc() noexcept;
+
+  /// SimMem::Flush consults this while armed.
+  enum class FlushAction : std::uint8_t { kKeep, kDrop, kDeferPastFence };
+  FlushAction OnFlush() noexcept;
+
+  /// SimMem::Store64 consults this while armed: returns the value to log as
+  /// persisted (the torn hybrid when this store is the chosen victim;
+  /// `value` otherwise). `old` is the word's prior content.
+  std::uint64_t OnStore(std::uint64_t value, std::uint64_t old) noexcept;
+
+  // --- site tagging ---------------------------------------------------------
+
+  static constexpr const char* kUntagged = "(untagged)";
+
+  /// RAII allocation-site tag: every Pool allocation on this thread inside
+  /// the scope observes under `name`. Nests (inner scope wins).
+  class SiteScope {
+   public:
+    explicit SiteScope(const char* name);
+    ~SiteScope();
+    SiteScope(const SiteScope&) = delete;
+    SiteScope& operator=(const SiteScope&) = delete;
+
+   private:
+    const char* prev_;
+  };
+
+  /// This thread's current site tag (kUntagged outside any scope).
+  static const char* CurrentSite();
+
+  // --- observation ----------------------------------------------------------
+
+  /// Distinct allocation sites observed since the last Reset, sorted.
+  std::vector<std::string> SitesSeen() const;
+
+  std::uint64_t allocs_observed() const {
+    return allocs_observed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultInjector() = default;
+  void ArmLocked();  // recomputes armed_ from the modes (mu_ held)
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  bool record_only_ = false;
+  bool fail_all_ = false;
+  std::uint64_t fail_nth_ = 0;    // 0 = off
+  std::uint64_t fail_every_ = 0;  // 0 = off
+  std::string fail_site_;
+  std::uint64_t fail_site_nth_ = 0;
+  std::uint64_t drop_flush_nth_ = 0;
+  std::uint64_t reorder_flush_nth_ = 0;
+  std::uint64_t tear_store_nth_ = 0;
+  std::uint64_t flushes_observed_ = 0;
+  std::uint64_t stores_observed_ = 0;
+  std::unordered_map<std::string, std::uint64_t> site_counts_;
+  std::atomic<std::uint64_t> allocs_observed_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+};
+
+}  // namespace fastfair::pm

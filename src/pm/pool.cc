@@ -6,10 +6,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <system_error>
 
+#include "pm/fault.h"
 #include "pm/persist.h"
 #include "pm/reclaim.h"
 
@@ -66,6 +69,16 @@ thread_local ArenaSlot t_arenas[kArenaSlots];
 char* AlignPtrUp(char* p, std::size_t align) {
   return reinterpret_cast<char*>(
       AlignUp(reinterpret_cast<std::uintptr_t>(p), align));
+}
+
+// Transient OS failure during open/reopen: retryable, not a damaged file.
+[[noreturn]] void ThrowIo(const char* op, const std::string& path) {
+  const int err = errno;
+  throw PoolError(PoolError::Kind::kIo,
+                  std::string(op) + " failed for pool file '" + path + "': " +
+                      std::generic_category().message(err) +
+                      " (transient OS error; check path, permissions, and "
+                      "free space, then retry)");
 }
 }  // namespace
 
@@ -143,25 +156,65 @@ Pool::Pool(const Options& opts)
   if (opts.file_path.empty()) {
     base_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-    if (base_ == MAP_FAILED) {
-      throw std::system_error(errno, std::generic_category(), "mmap");
-    }
+    if (base_ == MAP_FAILED) ThrowIo("mmap", "<anonymous>");
   } else {
     file_backed_ = true;
     fd_ = ::open(opts.file_path.c_str(), O_RDWR | O_CREAT, 0644);
-    if (fd_ < 0) {
-      throw std::system_error(errno, std::generic_category(), "open");
-    }
+    if (fd_ < 0) ThrowIo("open", opts.file_path);
     struct stat st {};
     if (::fstat(fd_, &st) != 0) {
       ::close(fd_);
-      throw std::system_error(errno, std::generic_category(), "fstat");
+      ThrowIo("fstat", opts.file_path);
     }
-    const bool existing = st.st_size >= static_cast<off_t>(sizeof(Header));
-    if (static_cast<std::size_t>(st.st_size) < capacity_ &&
+    // Validate before the ftruncate below mutates the file: a clean pool
+    // file is always extended to its full capacity at creation, so any
+    // shorter non-empty file was cut down after the fact — and re-extending
+    // it would fill the lost tail with zero holes and make the damage
+    // undetectable on the next open.
+    const auto disk_size = static_cast<std::size_t>(st.st_size);
+    const bool existing = disk_size >= sizeof(Header);
+    if (st.st_size != 0 && !existing) {
+      ::close(fd_);
+      throw PoolError(
+          PoolError::Kind::kCorrupt,
+          "pool file '" + opts.file_path + "' is truncated mid-header (" +
+              std::to_string(disk_size) + " bytes, header needs " +
+              std::to_string(sizeof(Header)) +
+              "); restore it from a backup or delete it to start fresh");
+    }
+    if (existing) {
+      std::uint64_t probe[2] = {0, 0};  // {magic, capacity}
+      if (::pread(fd_, probe, sizeof(probe), 0) !=
+          static_cast<ssize_t>(sizeof(probe))) {
+        ::close(fd_);
+        ThrowIo("pread(header)", opts.file_path);
+      }
+      if (probe[0] == kMagic) {
+        if (probe[1] != capacity_) {
+          ::close(fd_);
+          throw PoolError(
+              PoolError::Kind::kIncompatible,
+              "pool file '" + opts.file_path +
+                  "' was created with capacity " + std::to_string(probe[1]) +
+                  " but reopened with " + std::to_string(capacity_) +
+                  "; reopen with the original capacity");
+        }
+        if (disk_size < capacity_) {
+          ::close(fd_);
+          throw PoolError(
+              PoolError::Kind::kCorrupt,
+              "pool file '" + opts.file_path + "' is truncated (" +
+                  std::to_string(disk_size) + " of " +
+                  std::to_string(capacity_) +
+                  " bytes on disk); restore it from a backup or delete it "
+                  "to start fresh");
+        }
+      }
+    }
+    if (disk_size < capacity_ &&
         ::ftruncate(fd_, static_cast<off_t>(capacity_)) != 0) {
       ::close(fd_);
-      throw std::system_error(errno, std::generic_category(), "ftruncate");
+      ThrowIo("ftruncate", opts.file_path);
     }
     // Stored pointers require a stable mapping address across restarts.
     base_ = ::mmap(reinterpret_cast<void*>(opts.fixed_base), capacity_,
@@ -169,16 +222,12 @@ Pool::Pool(const Options& opts)
                    fd_, 0);
     if (base_ == MAP_FAILED) {
       ::close(fd_);
-      throw std::system_error(errno, std::generic_category(),
-                              "mmap(fixed base)");
+      ThrowIo("mmap(fixed base)", opts.file_path);
     }
     if (existing && header()->magic == kMagic) {
+      // Capacity and on-disk size were validated against the header probe
+      // above, before the ftruncate could mask anything.
       reopened_ = true;
-      if (header()->capacity != capacity_) {
-        ::munmap(base_, capacity_);
-        ::close(fd_);
-        throw std::runtime_error("pool file capacity mismatch");
-      }
       // Recovered: keep used/root as persisted. Free-list state is only
       // trustworthy when the previous run flushed pushes/pops in order
       // (persist_free_lists): without that, a head may have hit the medium
@@ -652,10 +701,69 @@ void Pool::SanitizeFreeLists() {
   }
 }
 
+void Pool::AuditFreeLists(std::vector<std::string>* errors,
+                          std::uint64_t* blocks, std::uint64_t* bytes) const {
+  const auto* h = header();
+  const std::uint64_t used_now = h->used.load(std::memory_order_relaxed);
+  const std::uint64_t lo = AlignUp(sizeof(Header), kCacheLineSize);
+  for (int c = 0; c < kNumClasses; ++c) {
+    const std::size_t block = std::size_t{1} << (c + kMinClass);
+    std::size_t walked = 0;
+    std::uint64_t off = h->free_heads[c].load(std::memory_order_relaxed) &
+                        kOffsetMask;
+    while (off != 0) {
+      if (off % 8 != 0 || off < lo || off + block > used_now) {
+        errors->push_back("free list class " + std::to_string(c + kMinClass) +
+                          ": entry at offset " + std::to_string(off) +
+                          " is misaligned or outside the allocated region " +
+                          "(torn push?)");
+        break;
+      }
+      if (++walked > capacity_ / kMinRecycle) {
+        errors->push_back("free list class " + std::to_string(c + kMinClass) +
+                          ": cycle detected (walked past every block the "
+                          "pool could hold)");
+        break;
+      }
+      const auto* words = reinterpret_cast<const std::uint64_t*>(
+          static_cast<const char*>(base_) + off);
+      std::uint64_t size = c == 0 ? kMinRecycle : words[1];
+      if (c != 0 && (size < block || size >= 2 * block)) {
+        errors->push_back(
+            "free list class " + std::to_string(c + kMinClass) +
+            ": block at offset " + std::to_string(off) + " carries size " +
+            std::to_string(size) + " outside [" + std::to_string(block) +
+            ", " + std::to_string(2 * block) + ") (torn size word)");
+        size = block;  // the clamp PopGlobal would apply
+      }
+      ++*blocks;
+      *bytes += size;
+      off = words[0] & kOffsetMask;
+    }
+  }
+}
+
+std::size_t Pool::header_bytes() const {
+  return AlignUp(sizeof(Header), kCacheLineSize);
+}
+
 // --- public allocation interface ---------------------------------------------
 
 void* Pool::Alloc(std::size_t size, std::size_t align) {
+  void* p = TryAlloc(size, align);
+  if (FASTFAIR_UNLIKELY(p == nullptr)) throw std::bad_alloc();
+  return p;
+}
+
+void* Pool::TryAlloc(std::size_t size, std::size_t align) {
   if (align < 8) align = 8;
+  // Deterministic fault injection (pm/fault.h): one relaxed load when
+  // disarmed. An injected failure is indistinguishable from exhaustion to
+  // every caller, which is the point.
+  if (FASTFAIR_UNLIKELY(FaultInjector::Armed()) &&
+      FaultInjector::Instance().ShouldFailAlloc()) {
+    return nullptr;
+  }
   // Recycled blocks first: a free-list hit costs no pool-shared writes and
   // keeps used() flat under delete churn.
   void* p = TryRecycle(size, align);
@@ -667,7 +775,9 @@ void* Pool::Alloc(std::size_t size, std::size_t align) {
       p = ArenaAlloc(size, align);
     }
     if (p == nullptr) {
-      p = static_cast<char*>(base_) + ReserveGlobal(size, align, false);
+      const std::size_t off = ReserveGlobal(size, align, true);
+      if (off == kNoSpace) return nullptr;
+      p = static_cast<char*>(base_) + off;
     }
   }
   auto& stats = Stats();

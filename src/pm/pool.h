@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <mutex>
 #include <new>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,6 +58,27 @@
 #include "common/defs.h"
 
 namespace fastfair::pm {
+
+/// Typed pool open/reopen failure. `kind()` tells a caller whether retrying
+/// makes sense (`kIo`: transient OS condition — bad path, permissions, a
+/// full filesystem), whether the file itself is damaged (`kCorrupt`: torn
+/// header or a file shorter than the capacity its own header claims —
+/// restore from a backup or delete to start fresh), or whether the file is
+/// healthy but the open parameters are wrong (`kIncompatible`: reopen with
+/// the capacity the file was created with). Derives from runtime_error so
+/// untyped `catch` sites keep working; the what() message is actionable.
+class PoolError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t { kIo, kCorrupt, kIncompatible };
+
+  PoolError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 class Pool {
  public:
@@ -99,6 +121,13 @@ class Pool {
   /// per-thread free-list cache). Throws std::bad_alloc when the pool is
   /// exhausted and nothing recyclable remains.
   void* Alloc(std::size_t size, std::size_t align = kCacheLineSize);
+
+  /// Nothrow variant of Alloc: same recycle -> arena -> global path, but
+  /// returns nullptr when the pool is exhausted (or when the fault injector
+  /// fails this allocation — pm/fault.h). The status-propagating insert
+  /// paths (core::BTreeT, the index adapters, the service tier's degraded
+  /// mode) build on this instead of catching bad_alloc.
+  void* TryAlloc(std::size_t size, std::size_t align = kCacheLineSize);
 
   /// Returns a block to the reclaimer (see file comment for the contract:
   /// same size as allocated, last persistent reference already removed).
@@ -194,6 +223,20 @@ class Pool {
 
   /// Effective arena chunk size for this pool (0 = arenas disabled).
   std::size_t chunk_size() const { return chunk_size_; }
+
+  /// Read-only audit of the shared per-size-class free lists for the
+  /// reopen-time verifier (pm/check.h): walks each list validating
+  /// alignment, bounds against the bump offset, per-block size words, and
+  /// cycle-freedom; appends one message per defect to `errors` and totals
+  /// the healthy prefix into `blocks`/`bytes`. Unlike SanitizeFreeLists
+  /// this never truncates — the evidence stays on disk. Quiescent pools
+  /// only (no concurrent Alloc/Free).
+  void AuditFreeLists(std::vector<std::string>* errors,
+                      std::uint64_t* blocks, std::uint64_t* bytes) const;
+
+  /// Bytes the pool header reserves at the start of the mapping (the
+  /// verifier's accounting baseline).
+  std::size_t header_bytes() const;
 
   /// Returns true if `p` points inside this pool's mapping.
   bool Contains(const void* p) const {

@@ -17,6 +17,11 @@ inline void CpuRelax() {
 #endif
 }
 
+// Relative submit deadline -> absolute ring-slot stamp (0 stays "none").
+inline std::uint64_t AbsDeadline(std::uint64_t deadline_us) {
+  return deadline_us == 0 ? 0 : pm::NowNs() + deadline_us * 1000;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -69,22 +74,26 @@ Session::Session(KvService* service, std::uint32_t id, std::uint64_t tenant,
       mask_(std::bit_ceil(std::max<std::size_t>(depth, 2)) - 1),
       ring_(new detail::Request[mask_ + 1]) {}
 
-bool Session::Get(Key key, Completion* done) {
-  return Submit({detail::OpType::kGet, key, kNoValue, 0, nullptr, done});
+bool Session::Get(Key key, Completion* done, std::uint64_t deadline_us) {
+  return Submit({detail::OpType::kGet, key, kNoValue, 0, nullptr, done,
+                 AbsDeadline(deadline_us)});
 }
 
-bool Session::Put(Key key, Value value, Completion* done) {
-  return Submit({detail::OpType::kPut, key, value, 0, nullptr, done});
+bool Session::Put(Key key, Value value, Completion* done,
+                  std::uint64_t deadline_us) {
+  return Submit({detail::OpType::kPut, key, value, 0, nullptr, done,
+                 AbsDeadline(deadline_us)});
 }
 
-bool Session::Del(Key key, Completion* done) {
-  return Submit({detail::OpType::kDel, key, kNoValue, 0, nullptr, done});
+bool Session::Del(Key key, Completion* done, std::uint64_t deadline_us) {
+  return Submit({detail::OpType::kDel, key, kNoValue, 0, nullptr, done,
+                 AbsDeadline(deadline_us)});
 }
 
 bool Session::Scan(Key min_key, std::uint32_t max_results, core::Record* out,
-                   Completion* done) {
-  return Submit(
-      {detail::OpType::kScan, min_key, kNoValue, max_results, out, done});
+                   Completion* done, std::uint64_t deadline_us) {
+  return Submit({detail::OpType::kScan, min_key, kNoValue, max_results, out,
+                 done, AbsDeadline(deadline_us)});
 }
 
 bool Session::Submit(const detail::Request& r) {
@@ -95,10 +104,20 @@ bool Session::Submit(const detail::Request& r) {
   // increment is visible to Stop's drain loop (it waits for our publish).
   s->pending_submits_.fetch_add(1, std::memory_order_seq_cst);
   ReqStatus reject{};
+  std::uint64_t retry_us = 0;
   bool admitted = false;
   if (!s->accepting_.load(std::memory_order_seq_cst)) {
     reject = ReqStatus::kShutdown;
     s->rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+  } else if (r.type == detail::OpType::kPut &&
+             (retry_us = s->DegradedRetryUs()) != 0) {
+    // Degraded mode: the pool is (or was just measured) out of space, so a
+    // write would only burn a descent to rediscover kNoSpace. Shed it here
+    // with the remaining backoff as a retry hint — before it costs a ring
+    // slot or a quota token. Reads, scans, and Dels (which free space)
+    // flow through untouched.
+    reject = ReqStatus::kRejectedCapacity;
+    s->rejected_capacity_.fetch_add(1, std::memory_order_relaxed);
   } else {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     const std::size_t h = head_.load(std::memory_order_acquire);
@@ -118,6 +137,8 @@ bool Session::Submit(const detail::Request& r) {
   s->pending_submits_.fetch_sub(1, std::memory_order_release);
   if (!admitted) {
     r.done->complete_ns_ = 0;
+    r.done->retry_after_us_ = static_cast<std::uint32_t>(
+        retry_us > 0xffffffffull ? 0xffffffffull : retry_us);
     r.done->status_.store(reject, std::memory_order_release);
   }
   return admitted;
@@ -306,6 +327,32 @@ KvService::FlushReason KvService::GatherGroup(
 }
 
 void KvService::ExecuteGroup(Worker& wk, std::vector<detail::Request>& reqs) {
+  // Deadline pass: requests that expired while queued (ring wait plus
+  // group formation) complete as kDeadlineExceeded right here and never
+  // occupy a batch slot. The clock is read at most once, and only when
+  // some request actually carries a deadline.
+  {
+    std::uint64_t now = 0;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const detail::Request& r = reqs[i];
+      bool expired = false;
+      if (FASTFAIR_UNLIKELY(r.deadline_ns != 0)) {
+        if (now == 0) now = pm::NowNs();
+        expired = now > r.deadline_ns;
+      }
+      if (FASTFAIR_UNLIKELY(expired)) {
+        r.done->complete_ns_ = now;
+        r.done->status_.store(ReqStatus::kDeadlineExceeded,
+                              std::memory_order_release);
+        ++wk.deadline_hits;
+      } else {
+        if (kept != i) reqs[kept] = reqs[i];
+        ++kept;
+      }
+    }
+    reqs.resize(kept);
+  }
   const std::size_t n = reqs.size();
   if (n == 0) return;
   std::vector<ReqStatus>& st = wk.req_st;
@@ -330,8 +377,15 @@ void KvService::ExecuteGroup(Worker& wk, std::vector<detail::Request>& reqs) {
           const core::Record rec{r.key, r.value};
           InsertStatus is;
           index_->InsertBatch(&rec, 1, &is);
-          st[i] = is == InsertStatus::kInserted ? ReqStatus::kInserted
-                                                : ReqStatus::kUpdated;
+          if (FASTFAIR_UNLIKELY(is == InsertStatus::kNoSpace)) {
+            st[i] = ReqStatus::kRejectedCapacity;
+            r.done->retry_after_us_ =
+                static_cast<std::uint32_t>(opts_.capacity_backoff_us);
+            EnterDegraded();
+          } else {
+            st[i] = is == InsertStatus::kInserted ? ReqStatus::kInserted
+                                                  : ReqStatus::kUpdated;
+          }
           ++wk.puts;
           break;
         }
@@ -367,9 +421,17 @@ void KvService::ExecuteGroup(Worker& wk, std::vector<detail::Request>& reqs) {
       index_->InsertBatch(put_recs.data(), put_recs.size(),
                           wk.put_st.data());
       for (std::size_t j = 0; j < put_pos.size(); ++j) {
-        st[put_pos[j]] = wk.put_st[j] == InsertStatus::kInserted
-                             ? ReqStatus::kInserted
-                             : ReqStatus::kUpdated;
+        const InsertStatus is = wk.put_st[j];
+        if (FASTFAIR_UNLIKELY(is == InsertStatus::kNoSpace)) {
+          st[put_pos[j]] = ReqStatus::kRejectedCapacity;
+          reqs[put_pos[j]].done->retry_after_us_ =
+              static_cast<std::uint32_t>(opts_.capacity_backoff_us);
+          EnterDegraded();
+        } else {
+          st[put_pos[j]] = is == InsertStatus::kInserted
+                               ? ReqStatus::kInserted
+                               : ReqStatus::kUpdated;
+        }
       }
       wk.puts += put_recs.size();
     }
@@ -439,6 +501,27 @@ void KvService::ExecuteGroup(Worker& wk, std::vector<detail::Request>& reqs) {
   wk.executed += n;
 }
 
+std::uint64_t KvService::DegradedRetryUs() {
+  std::uint64_t until = degraded_until_ns_.load(std::memory_order_relaxed);
+  if (FASTFAIR_LIKELY(until == 0)) return 0;  // normal path: one load
+  const std::uint64_t now = pm::NowNs();
+  if (now >= until) {
+    // Window over: clear it (CAS so a concurrent EnterDegraded that just
+    // re-armed a fresh window is not wiped) and admit this write as the
+    // capacity probe.
+    degraded_until_ns_.compare_exchange_strong(until, 0,
+                                               std::memory_order_relaxed);
+    return 0;
+  }
+  return (until - now) / 1000 + 1;  // ceil to a nonzero retry hint
+}
+
+void KvService::EnterDegraded() {
+  degraded_until_ns_.store(pm::NowNs() + opts_.capacity_backoff_us * 1000,
+                           std::memory_order_relaxed);
+  rejected_capacity_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void KvService::CompleteRemaining(ReqStatus status) {
   const std::size_t n = num_sessions_.load(std::memory_order_acquire);
   std::vector<detail::Request> reqs;
@@ -461,8 +544,10 @@ ServiceStats KvService::Stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.rejected_queue_full = rejected_full_.load(std::memory_order_relaxed);
   s.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+  s.rejected_capacity = rejected_capacity_.load(std::memory_order_relaxed);
   s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
   for (const auto& w : workers_) {
+    s.deadline_exceeded += w->deadline_hits;
     s.executed += w->executed;
     s.gets += w->gets;
     s.puts += w->puts;

@@ -25,6 +25,17 @@
 //     latency plus at most one poll cycle, not the full timeout, which is
 //     what keeps service p999 within sight of scalar dispatch
 //     (bench/bench_service.cc gates it).
+//   * degraded mode — a Put the index answers with InsertStatus::kNoSpace
+//     (pool exhausted) completes as kRejectedCapacity, and for the next
+//     capacity_backoff_us further writes are shed at submit time with a
+//     retry-after hint (Completion::retry_after_us) while reads and scans
+//     keep serving from the intact tree; when the window expires one write
+//     is let through to re-probe, so recovered capacity (deletes,
+//     maintenance reclaim) re-admits the write path automatically.
+//   * per-request deadlines — submits carrying deadline_us are completed
+//     as kDeadlineExceeded by the draining worker once expired, instead of
+//     occupying a batch slot; under overload, work that can no longer meet
+//     its SLA stops costing index time.
 //
 // Ordering contract: requests whose completion the client observed before
 // submitting a later request are strictly ordered. Requests in flight
@@ -64,6 +75,8 @@ class HashShardedIndex;
 namespace fastfair::server {
 
 /// Outcome of a service request, readable from its Completion once done.
+/// Every kRejected* / kDeadlineExceeded / kShutdown value sorts after the
+/// success statuses, so `status >= kRejectedQueueFull` tests "not served".
 enum class ReqStatus : std::uint8_t {
   kPending = 0,        // not yet executed (Completion's initial state)
   kOk,                 // Get hit / Del removed / Scan finished
@@ -72,6 +85,11 @@ enum class ReqStatus : std::uint8_t {
   kUpdated,            // Put overwrote an existing entry
   kRejectedQueueFull,  // session ring at queue_depth — backpressure
   kRejectedQuota,      // tenant token bucket empty
+  kRejectedCapacity,   // pool out of space: write shed, retry after
+                       // Completion::retry_after_us() (degraded mode;
+                       // reads and scans keep serving)
+  kDeadlineExceeded,   // deadline_us expired before execution; the op was
+                       // completed without occupying a batch slot
   kShutdown,           // submitted after Stop() began (never executed)
 };
 
@@ -97,11 +115,16 @@ class Completion {
   /// Worker-side completion timestamp (pm::NowNs clock, one read per
   /// executed group). 0 for rejected requests. Valid once done().
   std::uint64_t complete_ns() const { return complete_ns_; }
+  /// Degraded-mode backoff hint: how long the client should wait before
+  /// retrying a write shed with kRejectedCapacity (the remaining width of
+  /// the service's capacity-backoff window). 0 for every other status.
+  std::uint32_t retry_after_us() const { return retry_after_us_; }
 
   void Reset() {
     value_ = kNoValue;
     scan_n_ = 0;
     complete_ns_ = 0;
+    retry_after_us_ = 0;
     status_.store(ReqStatus::kPending, std::memory_order_release);
   }
 
@@ -110,6 +133,7 @@ class Completion {
   friend class Session;
   Value value_ = kNoValue;
   std::uint32_t scan_n_ = 0;
+  std::uint32_t retry_after_us_ = 0;
   std::uint64_t complete_ns_ = 0;
   std::atomic<ReqStatus> status_{ReqStatus::kPending};
 };
@@ -125,6 +149,7 @@ struct Request {
   std::uint32_t scan_cap;  // Scan bound
   core::Record* scan_out;  // Scan destination (client-owned)
   Completion* done;
+  std::uint64_t deadline_ns;  // absolute pm::NowNs deadline; 0 = none
 };
 
 /// Per-tenant token bucket: `rate` tokens/sec refill up to `burst`. A
@@ -158,14 +183,20 @@ class KvService;
 /// Exactly one client thread may submit on a given session.
 class Session {
  public:
-  bool Get(Key key, Completion* done);
-  bool Put(Key key, Value value, Completion* done);
-  bool Del(Key key, Completion* done);
+  /// All submit methods take an optional relative deadline: with
+  /// deadline_us != 0, a request still queued when the deadline passes is
+  /// completed as kDeadlineExceeded by the draining worker instead of
+  /// occupying a batch slot (checked once per group formation, so expiry
+  /// resolution is one group execution, not a timer tick).
+  bool Get(Key key, Completion* done, std::uint64_t deadline_us = 0);
+  bool Put(Key key, Value value, Completion* done,
+           std::uint64_t deadline_us = 0);
+  bool Del(Key key, Completion* done, std::uint64_t deadline_us = 0);
   /// Up to `max_results` records with key >= min_key into client-owned
   /// `out` (must stay valid until completion); scan_count() reports the
   /// number written.
   bool Scan(Key min_key, std::uint32_t max_results, core::Record* out,
-            Completion* done);
+            Completion* done, std::uint64_t deadline_us = 0);
 
   std::uint64_t tenant() const { return tenant_; }
 
@@ -208,6 +239,14 @@ struct ServiceOptions {
   /// Session table capacity (fixed at construction so workers can walk it
   /// lock-free while OpenSession runs).
   std::size_t max_sessions = 1024;
+  /// Degraded-mode backoff window: after a Put comes back kNoSpace from
+  /// the index (pool exhausted), the service sheds subsequent writes at
+  /// submit time with kRejectedCapacity for this long — reads and scans
+  /// keep serving — then lets one write through to re-probe capacity
+  /// (space may have returned via deletes or maintenance reclaim). The
+  /// remaining window is published to shed clients as
+  /// Completion::retry_after_us().
+  std::uint64_t capacity_backoff_us = 1000;
   /// Baseline mode for benchmarks/tests: workers execute each drained
   /// request individually through the scalar Index entry points — the
   /// pre-batching service shape bench_service gates against.
@@ -233,6 +272,11 @@ struct ServiceStats {
   std::uint64_t idle_flushes = 0;     // empty poll pass — rings drained dry
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_quota = 0;
+  /// Writes shed by degraded mode: submit-time sheds within the backoff
+  /// window plus executed Puts that came back kNoSpace from the index.
+  std::uint64_t rejected_capacity = 0;
+  /// Requests whose deadline_us expired before execution.
+  std::uint64_t deadline_exceeded = 0;
   std::uint64_t rejected_shutdown = 0;
   /// PM counter deltas aggregated across worker threads (read_stalls is
   /// the batching amortization signal). Populated at Stop().
@@ -288,6 +332,7 @@ class KvService {
     std::thread thread;
     std::uint64_t executed = 0, gets = 0, puts = 0, dels = 0, scans = 0;
     std::uint64_t groups = 0, full = 0, timeout = 0, idle = 0;
+    std::uint64_t deadline_hits = 0;  // ops expired before execution
     pm::ThreadStats pm_delta;  // set once at worker exit
     std::vector<detail::Request> reqs;
     std::vector<core::Record> put_recs;
@@ -310,6 +355,14 @@ class KvService {
   FlushReason GatherGroup(std::size_t w, std::vector<detail::Request>* reqs);
   void ExecuteGroup(Worker& wk, std::vector<detail::Request>& reqs);
   void CompleteRemaining(ReqStatus status);
+  /// Degraded-mode gate for the submit path: 0 when writes are admitted,
+  /// else the microseconds remaining in the capacity-backoff window (the
+  /// retry-after hint). An expired window is cleared here so exactly the
+  /// next write probes the pool again.
+  std::uint64_t DegradedRetryUs();
+  /// A Put came back kNoSpace: (re)open the backoff window and count the
+  /// shed op.
+  void EnterDegraded();
 
   Index* index_;
   HashShardedIndex* probe_host_ = nullptr;  // hashed-* only: probe tier
@@ -332,9 +385,15 @@ class KvService {
   bool joined_ = false;  // guarded by stop_mu_
   std::mutex stop_mu_;
 
+  // Degraded mode (pool exhaustion): nonzero = absolute pm::NowNs end of
+  // the write-shedding window. Workers open it on a kNoSpace Put; the
+  // submit path sheds writes until it expires, then clears it.
+  std::atomic<std::uint64_t> degraded_until_ns_{0};
+
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_full_{0};
   std::atomic<std::uint64_t> rejected_quota_{0};
+  std::atomic<std::uint64_t> rejected_capacity_{0};
   std::atomic<std::uint64_t> rejected_shutdown_{0};
 };
 

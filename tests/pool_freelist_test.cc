@@ -3,9 +3,11 @@
 // used() under churn, and the crash-safe persistent free lists.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -256,6 +258,88 @@ TEST(PoolFreeList, ReopenSanitizesACorruptListHead) {
     }
   }
   std::remove(path.c_str());
+}
+
+TEST(PoolReopen, TruncatedFileIsReportedAsCorrupt) {
+  const std::string path = ::testing::TempDir() + "/truncated_pool_test.pm";
+  std::remove(path.c_str());
+  Pool::Options opts;
+  opts.capacity = std::size_t{4} << 20;
+  opts.file_path = path;
+  opts.fixed_base = 0x5400'0000'0000ull;
+  { Pool pool(opts); pool.Alloc(512); }
+  // Chop the file to half its capacity — the classic lost-tail copy. The
+  // header's own capacity field survives at offset 8, so reopen must see
+  // the mismatch and refuse with kCorrupt instead of silently re-extending
+  // the file with zero holes.
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(opts.capacity / 2)), 0);
+  try {
+    Pool pool(opts);
+    FAIL() << "reopen of a truncated pool file must throw";
+  } catch (const PoolError& e) {
+    EXPECT_EQ(e.kind(), PoolError::Kind::kCorrupt);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PoolReopen, FileTruncatedMidHeaderIsCorrupt) {
+  const std::string path = ::testing::TempDir() + "/midheader_pool_test.pm";
+  std::remove(path.c_str());
+  Pool::Options opts;
+  opts.capacity = std::size_t{4} << 20;
+  opts.file_path = path;
+  opts.fixed_base = 0x5500'0000'0000ull;
+  { Pool pool(opts); }
+  ASSERT_EQ(::truncate(path.c_str(), 24), 0);  // a few header words remain
+  try {
+    Pool pool(opts);
+    FAIL() << "reopen of a mid-header-truncated file must throw";
+  } catch (const PoolError& e) {
+    EXPECT_EQ(e.kind(), PoolError::Kind::kCorrupt);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PoolReopen, CapacityMismatchIsIncompatibleNotCorrupt) {
+  const std::string path = ::testing::TempDir() + "/capmismatch_pool_test.pm";
+  std::remove(path.c_str());
+  Pool::Options opts;
+  opts.capacity = std::size_t{4} << 20;
+  opts.file_path = path;
+  opts.fixed_base = 0x5600'0000'0000ull;
+  { Pool pool(opts); }
+  Pool::Options wrong = opts;
+  wrong.capacity = std::size_t{8} << 20;  // healthy file, wrong parameters
+  try {
+    Pool pool(wrong);
+    FAIL() << "reopen with a different capacity must throw";
+  } catch (const PoolError& e) {
+    EXPECT_EQ(e.kind(), PoolError::Kind::kIncompatible);
+    // The message names both capacities so the fix is obvious.
+    EXPECT_NE(std::string(e.what()).find(
+                  std::to_string(std::size_t{4} << 20)),
+              std::string::npos);
+  }
+  {  // the original parameters still work: the file was never touched
+    Pool pool(opts);
+    EXPECT_TRUE(pool.reopened());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PoolReopen, MissingDirectoryIsTransientIoError) {
+  Pool::Options opts;
+  opts.capacity = std::size_t{4} << 20;
+  opts.file_path = "/nonexistent-dir-fastfair/pool.pm";
+  opts.fixed_base = 0x5700'0000'0000ull;
+  try {
+    Pool pool(opts);
+    FAIL() << "open under a missing directory must throw";
+  } catch (const PoolError& e) {
+    EXPECT_EQ(e.kind(), PoolError::Kind::kIo);  // retryable, not corruption
+  }
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "bench/workload.h"
 #include "common/rng.h"
 #include "index/index.h"
+#include "pm/fault.h"
 #include "pm/persist.h"
 #include "server/service.h"
 #include "test_util.h"
@@ -420,6 +421,189 @@ TEST(Service, ProbeCacheKnobRoutesToHashedKinds) {
       }
     }
   }
+}
+
+// Per-request deadlines: ops whose deadline passed while queued complete
+// as kDeadlineExceeded without executing; everything else is untouched.
+// Prefilling before Start makes the expiry deterministic (no sleeps racing
+// a live worker) and covers both the grouped and the scalar execution path.
+void RunDeadlineScript(bool scalar) {
+  SCOPED_TRACE(scalar ? "scalar" : "batched");
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_depth = 256;
+  so.scalar_dispatch = scalar;
+  KvService svc(idx.get(), so);
+  Session* s = svc.OpenSession();
+
+  constexpr std::size_t kN = 64;
+  std::vector<Completion> cs(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const Key k = static_cast<Key>(i) + 1;
+    if (i % 2 == 0) {
+      // 1 us: long expired by the time the worker first drains the ring.
+      ASSERT_TRUE(s->Put(k, V1(k), &cs[i], /*deadline_us=*/1));
+    } else {
+      ASSERT_TRUE(s->Put(k, V1(k), &cs[i]));
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  svc.Start();
+  WaitAll(cs, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(cs[i].status(), ReqStatus::kDeadlineExceeded) << i;
+    } else {
+      EXPECT_EQ(cs[i].status(), ReqStatus::kInserted) << i;
+    }
+  }
+  ResetAll(cs, kN);
+
+  // Expired puts never touched the index; unexpired ones landed.
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s->Get(static_cast<Key>(i) + 1, &cs[i]));
+  }
+  WaitAll(cs, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(cs[i].status(), ReqStatus::kNotFound) << i;
+    } else {
+      EXPECT_EQ(cs[i].value(), V1(static_cast<Key>(i) + 1)) << i;
+    }
+  }
+  ResetAll(cs, kN);
+
+  // A generous deadline behaves exactly like no deadline.
+  Completion ok;
+  ASSERT_TRUE(s->Put(9999, V1(9999), &ok, /*deadline_us=*/10'000'000));
+  EXPECT_EQ(ok.Wait(), ReqStatus::kInserted);
+
+  // Clean shutdown with short-deadline ops still queued: Stop's drain must
+  // resolve every admitted op — executed or expired, never left kPending.
+  std::vector<Completion> tail(8);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    ASSERT_TRUE(
+        s->Put(20000 + static_cast<Key>(i), V1(i), &tail[i], /*deadline_us=*/1));
+  }
+  svc.Stop();
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const ReqStatus st = tail[i].status();
+    EXPECT_TRUE(st == ReqStatus::kInserted || st == ReqStatus::kDeadlineExceeded)
+        << i << " status " << static_cast<int>(st);
+  }
+  const auto st = svc.Stats();
+  EXPECT_GE(st.deadline_exceeded, kN / 2);
+}
+
+TEST(Service, DeadlineExpiredOpsCompleteWithoutExecuting) {
+  for (const bool scalar : {false, true}) RunDeadlineScript(scalar);
+}
+
+// Degraded mode under pool exhaustion (simulated via the fault injector's
+// fail-all mode): the first Put that hits kNoSpace flips the service into a
+// capacity_backoff_us shed window — further Puts are rejected at submit
+// time with a retry-after hint while Gets, Scans, and Dels keep serving —
+// and the window expires on its own once the injector is disarmed.
+void RunCapacityScript(bool scalar) {
+  SCOPED_TRACE(scalar ? "scalar" : "batched");
+  pm::FaultInjector& inj = pm::FaultInjector::Instance();
+  inj.Reset();
+  pm::Pool pool(std::size_t{64} << 20);
+  auto idx = MakeIndex("fastfair", &pool);
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_depth = 512;
+  so.scalar_dispatch = scalar;
+  so.capacity_backoff_us = 100'000;  // wide enough to assert inside it
+  KvService svc(idx.get(), so);
+  Session* s = svc.OpenSession();
+  svc.Start();
+
+  // Preload with real capacity so there is data for reads to keep serving.
+  constexpr std::size_t kN = 200;
+  std::vector<Completion> cs(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s->Put(static_cast<Key>(i) + 1, V1(i + 1), &cs[i]));
+  }
+  WaitAll(cs, kN);
+  ResetAll(cs, kN);
+
+  // Simulated exhaustion: fresh ascending keys hammer the rightmost leaf,
+  // so a split (= an allocation = kNoSpace) is forced within node-capacity
+  // puts. Updates of resident keys would not allocate — fresh keys do.
+  inj.FailAllAllocs(true);
+  bool saw_reject = false;
+  Completion c;
+  for (std::size_t i = 0; i < 64 && !saw_reject; ++i) {
+    const Key k = 100000 + static_cast<Key>(i);
+    if (!s->Put(k, V1(k), &c)) {
+      // Already shed at submit: an earlier put in this loop tripped the
+      // degraded window.
+      saw_reject = true;
+      break;
+    }
+    const ReqStatus st = c.Wait();
+    ASSERT_TRUE(st == ReqStatus::kInserted || st == ReqStatus::kRejectedCapacity)
+        << static_cast<int>(st);
+    if (st == ReqStatus::kRejectedCapacity) {
+      EXPECT_EQ(c.retry_after_us(), so.capacity_backoff_us);
+      saw_reject = true;
+    }
+    c.Reset();
+  }
+  ASSERT_TRUE(saw_reject) << "no put ever needed an allocation";
+
+  // Inside the shed window: writes are rejected AT SUBMIT with a hint...
+  c.Reset();
+  EXPECT_FALSE(s->Put(200000, V1(1), &c));
+  EXPECT_EQ(c.status(), ReqStatus::kRejectedCapacity);
+  EXPECT_GT(c.retry_after_us(), 0u);
+  // ...while reads, scans, and deletes (which free space) keep serving.
+  c.Reset();
+  ASSERT_TRUE(s->Get(1, &c));
+  EXPECT_EQ(c.Wait(), ReqStatus::kOk);
+  EXPECT_EQ(c.value(), V1(1));
+  c.Reset();
+  core::Record scan_out[8];
+  ASSERT_TRUE(s->Scan(1, 8, scan_out, &c));
+  EXPECT_EQ(c.Wait(), ReqStatus::kOk);
+  EXPECT_EQ(c.scan_count(), 8u);
+  c.Reset();
+  ASSERT_TRUE(s->Del(2, &c));
+  EXPECT_EQ(c.Wait(), ReqStatus::kOk);
+
+  // Capacity returns: disarm and wait out the window — the service recovers
+  // by itself, no restart, no knob.
+  inj.Reset();
+  c.Reset();
+  ASSERT_TRUE(testutil::PollUntil([&] {
+    if (s->Put(300000, V1(7), &c)) return true;
+    c.Reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return false;
+  }));
+  EXPECT_EQ(c.Wait(), ReqStatus::kInserted);
+
+  // Clean shutdown while degraded again (injector armed, window active).
+  inj.FailAllAllocs(true);
+  c.Reset();
+  for (std::size_t i = 0; i < 64; ++i) {
+    const Key k = 400000 + static_cast<Key>(i);
+    if (!s->Put(k, V1(k), &c)) break;  // degraded window tripped
+    const ReqStatus st = c.Wait();
+    c.Reset();
+    if (st == ReqStatus::kRejectedCapacity) break;
+  }
+  svc.Stop();
+  inj.Reset();
+  const auto stats = svc.Stats();
+  EXPECT_GE(stats.rejected_capacity, 2u);
+}
+
+TEST(Service, CapacityExhaustionShedsWritesKeepsServingReads) {
+  for (const bool scalar : {false, true}) RunCapacityScript(scalar);
 }
 
 TEST(Service, MultiClientShutdownRace) {
